@@ -1,0 +1,44 @@
+// Ablation A3 — token-passing policies.
+//
+// Compares the paper's Round-Robin and Highest-Level-First against the two
+// extension policies from the companion technical report (random permutation
+// and highest-traffic-first): cost after each iteration, total migrations and
+// time to stability. HLF should harvest cost reduction fastest (paper §VI-B).
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "core/token_policy.hpp"
+
+int main() {
+  using namespace score;
+
+  util::CsvWriter csv;
+  std::cout << "# Ablation A3: token policies (canonical tree, medium TM)\n";
+  csv.header({"policy", "iteration", "cost_ratio_vs_initial", "migrated_ratio"});
+
+  std::ostringstream summary_buf;
+  util::CsvWriter summary(summary_buf);
+  summary.header({"policy", "final_reduction", "migrations",
+                  "iterations_to_stable", "sim_time_s"});
+
+  for (const std::string name :
+       {"round-robin", "highest-level-first", "random", "highest-traffic-first"}) {
+    auto s = bench::make_scenario(false, traffic::Intensity::kMedium);
+    core::MigrationEngine engine(*s.model);
+    auto policy = core::make_policy(name, /*seed=*/7);
+    core::SimConfig cfg;
+    cfg.iterations = 10;
+    core::ScoreSimulation sim(engine, *policy, *s.alloc, s.tm);
+    const auto res = sim.run(cfg);
+
+    for (std::size_t i = 0; i < res.iterations.size(); ++i) {
+      csv.row(name, i + 1, res.iterations[i].cost_at_end / res.initial_cost,
+              res.iterations[i].migrated_ratio);
+    }
+    summary.row(name, res.reduction(), res.total_migrations,
+                res.iterations.size(), res.duration_s);
+  }
+  std::cout << "\n# summary\n" << summary_buf.str();
+  return 0;
+}

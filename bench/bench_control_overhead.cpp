@@ -1,0 +1,51 @@
+// Control-plane overhead of the distributed protocol (paper §IV/§V-A).
+//
+// S-CORE's scalability argument rests on the control plane being cheap: one
+// O(|V|)-sized token circulating serially, plus per-hold location and
+// capacity probes bounded by the holder's neighbour count. This bench runs
+// the full message-passing runtime at increasing fleet sizes and reports
+// messages and bytes per iteration — the quantities that would hit a real
+// DC's network.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hypervisor/distributed_runtime.hpp"
+
+int main() {
+  using namespace score;
+
+  util::CsvWriter csv;
+  std::cout << "# Control-plane overhead vs fleet size (1 iteration, RR)\n";
+  csv.header({"vms", "token_msgs", "location_msgs", "capacity_msgs",
+              "control_bytes", "token_bytes_each", "bytes_per_vm",
+              "migrations", "cost_reduction"});
+
+  for (std::size_t num_vms : {64, 128, 256, 512}) {
+    topo::CanonicalTreeConfig tcfg = bench::canonical_config();
+    topo::CanonicalTree topology(tcfg);
+    core::CostModel model(topology, core::LinkWeights::exponential(3));
+
+    traffic::GeneratorConfig gen;
+    gen.num_vms = num_vms;
+    gen.mean_service_size = 24;
+    gen.cross_service_prob = 0.3;
+    traffic::TrafficMatrix tm = traffic::generate_traffic(gen);
+
+    util::Rng rng(1);
+    core::ServerCapacity cap = bench::server_capacity();
+    core::Allocation alloc = baselines::make_allocation(
+        topology, cap, num_vms, core::VmSpec{},
+        baselines::PlacementStrategy::kRandom, rng);
+
+    hypervisor::RuntimeConfig rcfg;
+    rcfg.iterations = 1;
+    rcfg.stop_when_stable = false;
+    hypervisor::DistributedScoreRuntime runtime(model, alloc, tm, rcfg);
+    const auto res = runtime.run();
+
+    csv.row(num_vms, res.token_messages, res.location_messages,
+            res.capacity_messages, res.control_bytes, 4 + 5 * num_vms,
+            res.control_bytes / num_vms, res.total_migrations, res.reduction());
+  }
+  return 0;
+}

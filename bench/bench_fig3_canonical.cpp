@@ -1,0 +1,5 @@
+// Fig. 3d-f — cost-ratio-vs-time curves on the canonical tree (see
+// bench_fig3_costratio.hpp for the shared driver).
+#include "bench_fig3_costratio.hpp"
+
+int main() { return score::bench::run_fig3_costratio(/*fat_tree=*/false); }

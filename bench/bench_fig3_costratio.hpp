@@ -1,0 +1,66 @@
+// Shared driver for Fig. 3d-f (canonical tree) and Fig. 3g-i (fat-tree k=16):
+// communication-cost ratio over the GA-approximated optimum as a function of
+// simulated time, for both token policies at three traffic intensities.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "core/token_policy.hpp"
+
+namespace score::bench {
+
+inline int run_fig3_costratio(bool fat_tree) {
+  util::CsvWriter csv;
+  std::cout << "# Fig. 3" << (fat_tree ? "g-i (fat-tree)" : "d-f (canonical tree)")
+            << ": cost ratio over GA-optimal vs simulated time\n";
+  csv.header({"intensity", "policy", "time_s", "cost_ratio"});
+
+  // Final ratios are printed as one block after all series (keeps the CSV
+  // streams from interleaving when stdout/stderr are merged).
+  std::ostringstream summary_buf;
+  util::CsvWriter summary(summary_buf);
+  summary.header({"intensity", "policy", "initial_ratio", "final_ratio",
+                  "migrations", "ga_cost"});
+
+  for (traffic::Intensity intensity :
+       {traffic::Intensity::kSparse, traffic::Intensity::kMedium,
+        traffic::Intensity::kDense}) {
+    // Same base TM scaled x1/x10/x50 (the paper's methodology); density
+    // effects come from the bandwidth constraint binding at higher scales.
+    const std::uint64_t seed = 42;
+
+    // GA normaliser: one search per intensity, from the same initial state.
+    auto ga_scenario = make_scenario(fat_tree, intensity, seed);
+    baselines::GaOptimizer ga(*ga_scenario.model, ga_config());
+    const auto ga_res = ga.optimize(*ga_scenario.alloc, ga_scenario.tm);
+    const double opt = ga_res.best_cost;
+
+    for (const std::string policy_name : {"round-robin", "highest-level-first"}) {
+      auto s = make_scenario(fat_tree, intensity, seed);
+      core::MigrationEngine engine(*s.model);
+      auto policy = core::make_policy(policy_name);
+      core::SimConfig cfg;
+      cfg.iterations = 8;
+      core::ScoreSimulation sim(engine, *policy, *s.alloc, s.tm);
+      const core::SimResult res = sim.run(cfg);
+
+      // Thin the series to ~80 points for readable output.
+      const std::size_t stride = std::max<std::size_t>(1, res.series.size() / 80);
+      for (std::size_t i = 0; i < res.series.size(); i += stride) {
+        csv.row(traffic::intensity_name(intensity), policy_name,
+                res.series[i].time_s, res.series[i].cost / opt);
+      }
+      csv.row(traffic::intensity_name(intensity), policy_name,
+              res.series.back().time_s, res.series.back().cost / opt);
+      summary.row(traffic::intensity_name(intensity), policy_name,
+                  res.initial_cost / opt, res.final_cost / opt,
+                  res.total_migrations, opt);
+    }
+  }
+  std::cout << "\n# summary: final ratios\n" << summary_buf.str();
+  return 0;
+}
+
+}  // namespace score::bench

@@ -1,0 +1,5 @@
+// Fig. 3g-i — cost-ratio-vs-time curves on the fat-tree (see
+// bench_fig3_costratio.hpp for the shared driver).
+#include "bench_fig3_costratio.hpp"
+
+int main() { return score::bench::run_fig3_costratio(/*fat_tree=*/true); }

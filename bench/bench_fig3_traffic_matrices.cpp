@@ -1,0 +1,59 @@
+// Fig. 3a-c — Sparse / medium (x10) / dense (x50) ToR-level traffic matrices.
+//
+// Emits the rack-by-rack heat-map data (normalised to [0, 1] as in the
+// paper's colour scale) for each intensity, plus the structural summary the
+// paper describes: the TM is sparse, only a handful of ToR pairs are
+// hotspots, yet a significant traffic fraction crosses the upper layers.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace score;
+
+  util::CsvWriter csv;
+  std::cout << "# Fig. 3a-c: ToR-level traffic matrices (normalised, non-zero "
+               "entries only)\n";
+  csv.header({"intensity", "from_tor", "to_tor", "normalized_load"});
+
+  for (traffic::Intensity intensity :
+       {traffic::Intensity::kSparse, traffic::Intensity::kMedium,
+        traffic::Intensity::kDense}) {
+    auto s = bench::make_scenario(/*fat_tree=*/false, intensity);
+    const auto matrix = core::tor_level_matrix(*s.topology, *s.alloc, s.tm);
+    const double peak = core::tor_matrix_peak(matrix);
+    for (std::size_t r = 0; r < matrix.size(); ++r) {
+      for (std::size_t c = r + 1; c < matrix.size(); ++c) {
+        if (matrix[r][c] > 0.0 && peak > 0.0) {
+          csv.row(traffic::intensity_name(intensity), r, c, matrix[r][c] / peak);
+        }
+      }
+    }
+  }
+
+  std::cout << "\n# structural summary\n";
+  util::CsvWriter summary;
+  summary.header({"intensity", "fill_fraction", "fill_above_5pct_peak",
+                  "hotspot_pairs_above_half_peak", "total_load",
+                  "top10pct_byte_share"});
+  for (traffic::Intensity intensity :
+       {traffic::Intensity::kSparse, traffic::Intensity::kMedium,
+        traffic::Intensity::kDense}) {
+    auto s = bench::make_scenario(/*fat_tree=*/false, intensity);
+    const auto matrix = core::tor_level_matrix(*s.topology, *s.alloc, s.tm);
+    const double peak = core::tor_matrix_peak(matrix);
+    std::size_t hot = 0, visible = 0, offdiag = 0;
+    for (std::size_t r = 0; r < matrix.size(); ++r) {
+      for (std::size_t c = r + 1; c < matrix.size(); ++c) {
+        ++offdiag;
+        if (matrix[r][c] > 0.5 * peak) ++hot;
+        if (matrix[r][c] > 0.05 * peak) ++visible;
+      }
+    }
+    summary.row(traffic::intensity_name(intensity),
+                core::tor_matrix_fill(matrix),
+                static_cast<double>(visible) / static_cast<double>(offdiag), hot,
+                s.tm.total_load(), traffic::top_pair_byte_share(s.tm, 0.10));
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Micro-benchmarks (google-benchmark): cost-model and decision-path
+// throughput, the quantities that bound S-CORE's per-token-hold work in
+// dom0, plus GA generation cost for the centralized normaliser.
+#include <benchmark/benchmark.h>
+
+#include "baselines/ga_optimizer.hpp"
+#include "baselines/placement.hpp"
+#include "core/cost_model.hpp"
+#include "core/migration_engine.hpp"
+#include "topology/canonical_tree.hpp"
+#include "traffic/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace score;
+
+struct Fixture {
+  topo::CanonicalTree topo;
+  core::CostModel model;
+  traffic::TrafficMatrix tm;
+  core::Allocation alloc;
+
+  explicit Fixture(std::size_t num_vms)
+      : topo(make_topo_config()),
+        model(topo, core::LinkWeights::exponential(3)),
+        tm(make_tm(num_vms)),
+        alloc(make_alloc(topo, num_vms)) {}
+
+  static topo::CanonicalTreeConfig make_topo_config() {
+    topo::CanonicalTreeConfig cfg;
+    cfg.racks = 64;
+    cfg.hosts_per_rack = 10;
+    cfg.racks_per_pod = 8;
+    cfg.cores = 4;
+    return cfg;
+  }
+
+  static traffic::TrafficMatrix make_tm(std::size_t num_vms) {
+    traffic::GeneratorConfig gen;
+    gen.num_vms = num_vms;
+    return traffic::generate_traffic(gen);
+  }
+
+  static core::Allocation make_alloc(const topo::Topology& topo,
+                                     std::size_t num_vms) {
+    util::Rng rng(1);
+    core::ServerCapacity cap;
+    cap.vm_slots = 8;
+    cap.ram_mb = 8 * 256.0;
+    cap.cpu_cores = 8.0;
+    return baselines::make_allocation(topo, cap, num_vms, core::VmSpec{},
+                                      baselines::PlacementStrategy::kRandom, rng);
+  }
+};
+
+void BM_TotalCost(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model.total_cost(f.alloc, f.tm));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.tm.num_pairs()));
+}
+
+void BM_MigrationDelta(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  core::VmId vm = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.model.migration_delta(f.alloc, f.tm, vm, (vm * 37) % 640));
+    vm = (vm + 1) % static_cast<core::VmId>(f.tm.num_vms());
+  }
+}
+
+void BM_EngineEvaluate(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  core::MigrationEngine engine(f.model);
+  core::VmId vm = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.evaluate(f.alloc, f.tm, vm));
+    vm = (vm + 1) % static_cast<core::VmId>(f.tm.num_vms());
+  }
+}
+
+void BM_GaGeneration(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  baselines::GaConfig cfg;
+  cfg.population = 24;
+  cfg.max_generations = 1;  // time a single generation
+  cfg.stop_window = 1000;
+  baselines::GaOptimizer ga(f.model, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ga.optimize(f.alloc, f.tm));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_TotalCost)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond)
+    ->MinTime(0.05);
+BENCHMARK(BM_MigrationDelta)->Arg(256)->Arg(1024)->MinTime(0.05);
+BENCHMARK(BM_EngineEvaluate)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond)
+    ->MinTime(0.05);
+BENCHMARK(BM_GaGeneration)->Arg(256)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+BENCHMARK_MAIN();

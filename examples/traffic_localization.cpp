@@ -1,0 +1,106 @@
+// Traffic localization: how S-CORE moves elephant flows off the core.
+//
+// DC measurement studies (cited in the paper) show mice flows dominate in
+// number while a few elephant flows carry most bytes. This example builds a
+// workload whose elephants initially cross the core, runs S-CORE, and shows
+// (a) per-layer offered load before/after and (b) the communication-level
+// histogram of the elephant pairs — the elephants end up rack-local, which
+// is exactly the mechanism §V-C describes.
+//
+// Run:  ./traffic_localization
+#include <cstdio>
+
+#include "baselines/placement.hpp"
+#include "core/metrics.hpp"
+#include "core/simulation.hpp"
+#include "core/token_policy.hpp"
+#include "topology/canonical_tree.hpp"
+#include "traffic/generator.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace score;
+
+void print_layer_loads(const char* label, const topo::Topology& topology,
+                       const core::Allocation& alloc,
+                       const traffic::TrafficMatrix& tm) {
+  const auto loads = core::link_loads_for(topology, alloc, tm);
+  double per_layer[4] = {0, 0, 0, 0};
+  for (const auto& link : topology.links()) {
+    per_layer[link.level] += loads.load_bps(link.id);
+  }
+  std::printf("  %-7s  ToR-links: %8.2f Mb/s   agg-links: %8.2f Mb/s   "
+              "core-links: %8.2f Mb/s\n",
+              label, per_layer[1] / 1e6, per_layer[2] / 1e6, per_layer[3] / 1e6);
+}
+
+void print_elephant_levels(const char* label, const core::CostModel& model,
+                           const core::Allocation& alloc,
+                           const traffic::TrafficMatrix& tm,
+                           double elephant_threshold) {
+  int histogram[4] = {0, 0, 0, 0};
+  for (const auto& [u, v, rate] : tm.pairs()) {
+    if (rate >= elephant_threshold) {
+      ++histogram[model.level(alloc, u, v)];
+    }
+  }
+  std::printf("  %-7s  elephant pairs by level: same-host=%d rack=%d pod=%d "
+              "core=%d\n",
+              label, histogram[0], histogram[1], histogram[2], histogram[3]);
+}
+
+}  // namespace
+
+int main() {
+  topo::CanonicalTreeConfig tcfg;
+  tcfg.racks = 16;
+  tcfg.hosts_per_rack = 5;
+  tcfg.racks_per_pod = 4;
+  tcfg.cores = 2;
+  topo::CanonicalTree topology(tcfg);
+
+  traffic::GeneratorConfig gcfg;
+  gcfg.num_vms = 200;
+  gcfg.elephant_fraction = 0.15;
+  gcfg.seed = 99;
+  traffic::TrafficMatrix tm = traffic::generate_traffic(gcfg);
+
+  // An elephant here: top decile of pair rates.
+  std::vector<double> rates;
+  for (const auto& [u, v, r] : tm.pairs()) {
+    (void)u;
+    (void)v;
+    rates.push_back(r);
+  }
+  const double elephant_threshold = util::percentile(rates, 90);
+
+  core::ServerCapacity cap;
+  cap.vm_slots = 4;
+  cap.ram_mb = 1024.0;
+  cap.cpu_cores = 4.0;
+  util::Rng rng(5);
+  core::Allocation alloc = baselines::make_allocation(
+      topology, cap, gcfg.num_vms, core::VmSpec{},
+      baselines::PlacementStrategy::kRandom, rng);
+
+  core::CostModel model(topology, core::LinkWeights::exponential(3));
+
+  std::printf("Before S-CORE (random placement):\n");
+  print_layer_loads("before", topology, alloc, tm);
+  print_elephant_levels("before", model, alloc, tm, elephant_threshold);
+
+  core::MigrationEngine engine(model);
+  core::HighestLevelFirstPolicy policy;
+  core::ScoreSimulation sim(engine, policy, alloc, tm);
+  const auto result = sim.run();
+
+  std::printf("\nAfter S-CORE (%zu migrations, %.1f%% cost reduction):\n",
+              result.total_migrations, 100.0 * result.reduction());
+  print_layer_loads("after", topology, alloc, tm);
+  print_elephant_levels("after", model, alloc, tm, elephant_threshold);
+
+  std::printf("\nElephants are pulled down to host/rack level, freeing the\n"
+              "oversubscribed aggregation/core layers (paper §V-C).\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "baselines/exact_solver.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace score::baselines {
+
+namespace {
+
+using core::ServerId;
+using core::VmId;
+
+struct SearchState {
+  const core::CostModel* model;
+  const core::Allocation* initial;
+  const traffic::TrafficMatrix* tm;
+  const ExactConfig* config;
+
+  std::vector<VmId> order;              ///< VMs in assignment order.
+  std::vector<ServerId> assignment;     ///< per VM (kInvalidServer = open).
+  std::vector<std::size_t> free_slots;  ///< per server.
+  std::vector<double> free_ram, free_cpu;
+
+  std::vector<ServerId> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::uint64_t nodes = 0;
+  bool truncated = false;
+
+  void dfs(std::size_t depth, double partial_cost) {
+    if (truncated) return;
+    if (++nodes > config->max_nodes) {
+      truncated = true;
+      return;
+    }
+    // Admissible bound: remaining pairs only add non-negative cost.
+    if (partial_cost >= best_cost) return;
+    if (depth == order.size()) {
+      best_cost = partial_cost;
+      best = assignment;
+      return;
+    }
+
+    const VmId u = order[depth];
+    const auto& spec = initial->spec(u);
+    const auto& topo = model->topology();
+    const auto& weights = model->weights();
+
+    for (ServerId s = 0; s < initial->num_servers(); ++s) {
+      if (free_slots[s] == 0 || free_ram[s] < spec.ram_mb ||
+          free_cpu[s] < spec.cpu_cores) {
+        continue;
+      }
+      // Incremental cost: pairs between u and already-assigned neighbours.
+      double added = 0.0;
+      for (const auto& [z, rate] : tm->neighbors(u)) {
+        if (assignment[z] == core::kInvalidServer) continue;
+        added += 2.0 * rate * weights.prefix(topo.comm_level(s, assignment[z]));
+      }
+      if (partial_cost + added >= best_cost) continue;
+
+      assignment[u] = s;
+      --free_slots[s];
+      free_ram[s] -= spec.ram_mb;
+      free_cpu[s] -= spec.cpu_cores;
+      dfs(depth + 1, partial_cost + added);
+      assignment[u] = core::kInvalidServer;
+      ++free_slots[s];
+      free_ram[s] += spec.ram_mb;
+      free_cpu[s] += spec.cpu_cores;
+      if (truncated) return;
+    }
+  }
+};
+
+}  // namespace
+
+ExactResult ExactSolver::solve(const core::Allocation& initial,
+                               const traffic::TrafficMatrix& tm,
+                               const ExactConfig& config) const {
+  SearchState st;
+  st.model = model_;
+  st.initial = &initial;
+  st.tm = &tm;
+  st.config = &config;
+
+  const std::size_t n = initial.num_vms();
+  st.assignment.assign(n, core::kInvalidServer);
+  st.free_slots.resize(initial.num_servers());
+  st.free_ram.resize(initial.num_servers());
+  st.free_cpu.resize(initial.num_servers());
+  for (ServerId s = 0; s < initial.num_servers(); ++s) {
+    st.free_slots[s] = initial.capacity(s).vm_slots;
+    st.free_ram[s] = initial.capacity(s).ram_mb;
+    st.free_cpu[s] = initial.capacity(s).cpu_cores;
+  }
+
+  // Assign the heaviest communicators first: their pair costs dominate, so
+  // bad branches are pruned near the root.
+  st.order.resize(n);
+  std::iota(st.order.begin(), st.order.end(), 0u);
+  std::vector<double> volume(n, 0.0);
+  for (VmId u = 0; u < n; ++u) {
+    for (const auto& [v, rate] : tm.neighbors(u)) {
+      (void)v;
+      volume[u] += rate;
+    }
+  }
+  std::stable_sort(st.order.begin(), st.order.end(),
+                   [&](VmId a, VmId b) { return volume[a] > volume[b]; });
+
+  // Seed the incumbent with the current allocation (a valid upper bound).
+  st.best.resize(n);
+  for (VmId u = 0; u < n; ++u) st.best[u] = initial.server_of(u);
+  st.best_cost = model_->total_cost(initial, tm);
+
+  st.dfs(0, 0.0);
+
+  ExactResult result;
+  result.best_assignment = std::move(st.best);
+  result.best_cost = st.best_cost;
+  result.nodes_explored = st.nodes;
+  result.proven_optimal = !st.truncated;
+  return result;
+}
+
+}  // namespace score::baselines

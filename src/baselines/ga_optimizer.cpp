@@ -1,0 +1,391 @@
+#include "baselines/ga_optimizer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace score::baselines {
+
+namespace {
+
+using core::ServerId;
+using core::VmId;
+
+/// Residual-capacity tracker for one chromosome under construction.
+class CapacityTracker {
+ public:
+  CapacityTracker(const core::Allocation& ref)
+      : ref_(&ref),
+        slots_(ref.num_servers(), 0),
+        ram_(ref.num_servers(), 0.0),
+        cpu_(ref.num_servers(), 0.0) {}
+
+  bool can_place(ServerId s, VmId vm) const {
+    const auto& cap = ref_->capacity(s);
+    const auto& spec = ref_->spec(vm);
+    return slots_[s] < cap.vm_slots && ram_[s] + spec.ram_mb <= cap.ram_mb &&
+           cpu_[s] + spec.cpu_cores <= cap.cpu_cores;
+  }
+
+  void place(ServerId s, VmId vm) {
+    const auto& spec = ref_->spec(vm);
+    ++slots_[s];
+    ram_[s] += spec.ram_mb;
+    cpu_[s] += spec.cpu_cores;
+  }
+
+  void remove(ServerId s, VmId vm) {
+    const auto& spec = ref_->spec(vm);
+    --slots_[s];
+    ram_[s] -= spec.ram_mb;
+    cpu_[s] -= spec.cpu_cores;
+  }
+
+ private:
+  const core::Allocation* ref_;
+  std::vector<std::size_t> slots_;
+  std::vector<double> ram_;
+  std::vector<double> cpu_;
+};
+
+CapacityTracker tracker_for(const core::Allocation& ref,
+                            const std::vector<ServerId>& assignment) {
+  CapacityTracker t(ref);
+  for (VmId vm = 0; vm < assignment.size(); ++vm) t.place(assignment[vm], vm);
+  return t;
+}
+
+/// Densely packed individual: VMs in random order, first-fit over servers.
+std::vector<ServerId> packed_individual(const core::Allocation& ref,
+                                        util::Rng& rng) {
+  const std::size_t n = ref.num_vms();
+  std::vector<VmId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  rng.shuffle(order);
+
+  std::vector<ServerId> assignment(n, core::kInvalidServer);
+  CapacityTracker tracker(ref);
+  std::size_t cursor = 0;
+  for (VmId vm : order) {
+    std::size_t tried = 0;
+    while (!tracker.can_place(static_cast<ServerId>(cursor), vm)) {
+      cursor = (cursor + 1) % ref.num_servers();
+      if (++tried > ref.num_servers()) {
+        throw std::runtime_error("GA: fleet does not fit");
+      }
+    }
+    assignment[vm] = static_cast<ServerId>(cursor);
+    tracker.place(static_cast<ServerId>(cursor), vm);
+  }
+  return assignment;
+}
+
+}  // namespace
+
+double GaOptimizer::assignment_cost(const std::vector<ServerId>& assignment,
+                                    const traffic::TrafficMatrix& tm) const {
+  const auto& topo = model_->topology();
+  const auto& weights = model_->weights();
+  double cost = 0.0;
+  for (VmId u = 0; u < tm.num_vms(); ++u) {
+    for (const auto& [v, rate] : tm.neighbors(u)) {
+      if (u < v) {
+        const int level = topo.comm_level(assignment[u], assignment[v]);
+        cost += 2.0 * rate * weights.prefix(level);
+      }
+    }
+  }
+  return cost;
+}
+
+core::Allocation GaResult::build_allocation(const core::Allocation& reference) const {
+  std::vector<core::ServerCapacity> caps;
+  caps.reserve(reference.num_servers());
+  for (core::ServerId s = 0; s < reference.num_servers(); ++s) {
+    caps.push_back(reference.capacity(s));
+  }
+  core::Allocation alloc(std::move(caps));
+  for (core::VmId vm = 0; vm < best_assignment.size(); ++vm) {
+    alloc.add_vm(reference.spec(vm), best_assignment[vm]);
+  }
+  return alloc;
+}
+
+std::size_t GaOptimizer::polish_pass(std::vector<ServerId>& assignment,
+                                     const traffic::TrafficMatrix& tm,
+                                     const core::Allocation& reference) const {
+  const auto& topo = model_->topology();
+  const auto& weights = model_->weights();
+  const std::size_t hosts_per_rack = topo.num_hosts() / topo.num_racks();
+  CapacityTracker tracker = tracker_for(reference, assignment);
+
+  auto move_delta = [&](VmId u, ServerId target) {
+    const ServerId source = assignment[u];
+    double delta = 0.0;
+    for (const auto& [z, rate] : tm.neighbors(u)) {
+      const ServerId zs = assignment[z];
+      delta += 2.0 * rate *
+               (weights.prefix(topo.comm_level(zs, source)) -
+                weights.prefix(topo.comm_level(zs, target)));
+    }
+    return delta;
+  };
+
+  std::size_t moves = 0;
+  for (VmId u = 0; u < assignment.size(); ++u) {
+    ServerId best_target = core::kInvalidServer;
+    double best_delta = 1e-12;
+    // Candidates: every neighbour's server and its rack siblings.
+    for (const auto& [z, rate] : tm.neighbors(u)) {
+      (void)rate;
+      const auto rack = static_cast<std::size_t>(topo.rack_of(assignment[z]));
+      for (std::size_t i = 0; i < hosts_per_rack; ++i) {
+        const auto target = static_cast<ServerId>(rack * hosts_per_rack + i);
+        if (target == assignment[u]) continue;
+        tracker.remove(assignment[u], u);
+        const bool ok = tracker.can_place(target, u);
+        tracker.place(assignment[u], u);
+        if (!ok) continue;
+        const double delta = move_delta(u, target);
+        if (delta > best_delta) {
+          best_delta = delta;
+          best_target = target;
+        }
+      }
+    }
+    if (best_target != core::kInvalidServer) {
+      tracker.remove(assignment[u], u);
+      tracker.place(best_target, u);
+      assignment[u] = best_target;
+      ++moves;
+    }
+  }
+  return moves;
+}
+
+GaResult GaOptimizer::optimize(const core::Allocation& initial,
+                               const traffic::TrafficMatrix& tm) const {
+  if (initial.num_vms() != tm.num_vms()) {
+    throw std::invalid_argument("GaOptimizer: allocation/TM size mismatch");
+  }
+  util::Rng rng(config_.seed);
+  const std::size_t n = initial.num_vms();
+  const auto& topo = model_->topology();
+  const std::size_t hosts_per_rack = topo.num_hosts() / topo.num_racks();
+
+  // --- initial population: the current allocation + dense packings ---------
+  std::vector<std::vector<ServerId>> population;
+  population.reserve(config_.population);
+  {
+    std::vector<ServerId> current(n);
+    for (VmId vm = 0; vm < n; ++vm) current[vm] = initial.server_of(vm);
+    population.push_back(std::move(current));
+  }
+  while (population.size() < config_.population) {
+    population.push_back(packed_individual(initial, rng));
+  }
+  if (config_.polish == GaPolish::kFull) {
+    // Memetic GA: drive every starting individual to a local optimum of the
+    // move neighbourhood; crossover then recombines distinct local optima.
+    for (auto& chrom : population) {
+      for (int pass = 0; pass < 8; ++pass) {
+        if (polish_pass(chrom, tm, initial) == 0) break;
+      }
+    }
+  }
+
+  std::vector<double> fitness(population.size());
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    fitness[i] = assignment_cost(population[i], tm);
+  }
+
+  auto tournament_best = [&](std::size_t k) {
+    std::size_t best = rng.index(population.size());
+    for (std::size_t i = 1; i < k; ++i) {
+      const std::size_t cand = rng.index(population.size());
+      if (fitness[cand] < fitness[best]) best = cand;
+    }
+    return best;
+  };
+
+  // --- assembly crossover ---------------------------------------------------
+  auto crossover = [&](const std::vector<ServerId>& a,
+                       const std::vector<ServerId>& b) {
+    std::vector<ServerId> child(n, core::kInvalidServer);
+    CapacityTracker tracker(initial);
+
+    // Inherit whole racks, alternating randomly between the parents: every VM
+    // a parent assigns to rack r is placed on the same server if it still
+    // fits (preserves the parents' colocation groups — the partitions that
+    // drive the cost).
+    std::vector<std::size_t> racks(topo.num_racks());
+    std::iota(racks.begin(), racks.end(), 0u);
+    rng.shuffle(racks);
+    for (std::size_t r : racks) {
+      const auto& parent = rng.chance(0.5) ? a : b;
+      for (VmId vm = 0; vm < n; ++vm) {
+        if (child[vm] != core::kInvalidServer) continue;
+        const ServerId s = parent[vm];
+        if (static_cast<std::size_t>(topo.rack_of(s)) != r) continue;
+        if (tracker.can_place(s, vm)) {
+          child[vm] = s;
+          tracker.place(s, vm);
+        }
+      }
+    }
+
+    // Repair: place leftovers next to their heaviest already-placed
+    // neighbour, falling back to the first feasible server.
+    for (VmId vm = 0; vm < n; ++vm) {
+      if (child[vm] != core::kInvalidServer) continue;
+      ServerId target = core::kInvalidServer;
+      double best_rate = -1.0;
+      for (const auto& [peer, rate] : tm.neighbors(vm)) {
+        if (child[peer] == core::kInvalidServer || rate <= best_rate) continue;
+        // Try the peer's server, then its rack siblings.
+        const ServerId ps = child[peer];
+        if (tracker.can_place(ps, vm)) {
+          target = ps;
+          best_rate = rate;
+          continue;
+        }
+        const auto rack = static_cast<std::size_t>(topo.rack_of(ps));
+        for (std::size_t i = 0; i < hosts_per_rack; ++i) {
+          const auto sib = static_cast<ServerId>(rack * hosts_per_rack + i);
+          if (tracker.can_place(sib, vm)) {
+            target = sib;
+            best_rate = rate;
+            break;
+          }
+        }
+      }
+      if (target == core::kInvalidServer) {
+        const std::size_t start = rng.index(initial.num_servers());
+        for (std::size_t i = 0; i < initial.num_servers(); ++i) {
+          const auto s =
+              static_cast<ServerId>((start + i) % initial.num_servers());
+          if (tracker.can_place(s, vm)) {
+            target = s;
+            break;
+          }
+        }
+      }
+      if (target == core::kInvalidServer) {
+        throw std::runtime_error("GA crossover: repair failed (fleet full?)");
+      }
+      child[vm] = target;
+      tracker.place(target, vm);
+    }
+    return child;
+  };
+
+  // --- mutation: swap random VMs between racks (paper §VI-A) ---------------
+  auto mutate = [&](std::vector<ServerId>& chrom) {
+    CapacityTracker tracker = tracker_for(initial, chrom);
+    for (std::size_t m = 0; m < config_.mutation_swaps; ++m) {
+      const VmId x = static_cast<VmId>(rng.index(n));
+      const VmId y = static_cast<VmId>(rng.index(n));
+      if (x == y || chrom[x] == chrom[y]) continue;
+      const ServerId sx = chrom[x];
+      const ServerId sy = chrom[y];
+      tracker.remove(sx, x);
+      tracker.remove(sy, y);
+      if (tracker.can_place(sy, x) && tracker.can_place(sx, y)) {
+        chrom[x] = sy;
+        chrom[y] = sx;
+        tracker.place(sy, x);
+        tracker.place(sx, y);
+      } else {
+        tracker.place(sx, x);
+        tracker.place(sy, y);
+      }
+    }
+  };
+
+  // --- generational loop with elitism ---------------------------------------
+  GaResult result;
+  double best = *std::min_element(fitness.begin(), fitness.end());
+  result.best_cost_history.push_back(best);
+  std::size_t stale = 0;
+
+  for (std::size_t gen = 0; gen < config_.max_generations; ++gen) {
+    std::vector<std::vector<ServerId>> next;
+    next.reserve(population.size());
+
+    // Elites survive unchanged.
+    std::vector<std::size_t> idx(population.size());
+    std::iota(idx.begin(), idx.end(), 0u);
+    std::partial_sort(idx.begin(),
+                      idx.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                        config_.elite, idx.size())),
+                      idx.end(),
+                      [&](std::size_t i, std::size_t j) {
+                        return fitness[i] < fitness[j];
+                      });
+    for (std::size_t e = 0; e < std::min(config_.elite, idx.size()); ++e) {
+      next.push_back(population[idx[e]]);
+    }
+
+    while (next.size() < population.size()) {
+      const std::size_t pa = tournament_best(config_.tournament_size);
+      std::vector<ServerId> child;
+      if (rng.chance(config_.crossover_rate)) {
+        const std::size_t pb = tournament_best(config_.tournament_size);
+        child = crossover(population[pa], population[pb]);
+      } else {
+        child = population[pa];
+      }
+      mutate(child);
+      if (config_.polish == GaPolish::kFull) polish_pass(child, tm, initial);
+      next.push_back(std::move(child));
+    }
+
+    population = std::move(next);
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      fitness[i] = assignment_cost(population[i], tm);
+    }
+
+    if (config_.polish == GaPolish::kFull) {
+      // Lamarckian refinement of the current generation's best individual.
+      const std::size_t champ = static_cast<std::size_t>(
+          std::min_element(fitness.begin(), fitness.end()) - fitness.begin());
+      if (polish_pass(population[champ], tm, initial) > 0) {
+        fitness[champ] = assignment_cost(population[champ], tm);
+      }
+    }
+
+    const double gen_best = *std::min_element(fitness.begin(), fitness.end());
+    // Stop when improvement stays below the threshold for stop_window
+    // consecutive generations (paper: < 1% over 10 generations).
+    if (best - gen_best < config_.stop_improvement * best) {
+      ++stale;
+    } else {
+      stale = 0;
+    }
+    best = std::min(best, gen_best);
+    result.best_cost_history.push_back(best);
+    result.generations_run = gen + 1;
+    if (stale >= config_.stop_window) break;
+  }
+
+  const std::size_t winner = static_cast<std::size_t>(
+      std::min_element(fitness.begin(), fitness.end()) - fitness.begin());
+  result.best_assignment = population[winner];
+  result.best_cost = fitness[winner];
+
+  if (config_.polish != GaPolish::kNone) {
+    // Drive the winner to a local optimum of the move neighbourhood.
+    for (std::size_t pass = 0; pass < config_.final_polish_passes; ++pass) {
+      if (polish_pass(result.best_assignment, tm, initial) == 0) break;
+    }
+    result.best_cost = assignment_cost(result.best_assignment, tm);
+    if (!result.best_cost_history.empty() &&
+        result.best_cost < result.best_cost_history.back()) {
+      result.best_cost_history.push_back(result.best_cost);
+    }
+  }
+  return result;
+}
+
+}  // namespace score::baselines

@@ -1,0 +1,67 @@
+// The paper's appendix, as executable code: the polynomial reduction from
+// Graph Partitioning (GP, Garey & Johnson ND14 with unit vertex weights) to
+// Optimal VM Allocation (OVMA), proving OVMA NP-complete.
+//
+// GP instance: graph G = (V, E) with edge weights l(e), capacity K and goal
+// J. Question: can V be partitioned into sets of size ≤ K such that the
+// total weight of edges crossing the partition is ≤ J?
+//
+// Reduction (paper appendix): VMs = vertices, λ(u,v) = l(e) for each edge,
+// racks of capacity K. Communicating VMs in the same rack cost 0; a cut edge
+// costs a fixed positive multiple of its weight (all inter-rack pairs sit at
+// one communication level in the reduced topology). Hence an allocation of
+// cost ≤ scale·J exists iff the GP instance is a yes-instance.
+//
+// We materialise the reduced instance as a single-pod canonical tree with one
+// server per rack (capacity K) so the existing solvers (ExactSolver, GA,
+// S-CORE engine) answer GP questions directly — and the test-suite verifies
+// the equivalence by brute force on small instances.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/cost_model.hpp"
+#include "topology/canonical_tree.hpp"
+#include "traffic/traffic_matrix.hpp"
+
+namespace score::baselines {
+
+struct GpInstance {
+  std::size_t num_vertices = 0;
+  /// (u, v, weight), u != v, weight > 0.
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, double>> edges;
+  std::size_t capacity_k = 3;  ///< Max vertices per part (K >= 3 is NP-hard).
+  double goal_j = 0.0;         ///< Max total cut weight.
+};
+
+/// The OVMA instance produced by the reduction. `cut_cost_scale` is the
+/// constant multiple translating cut weight into Eq. (2) cost: the decision
+/// threshold for OVMA is `cut_cost_scale * goal_j`.
+struct OvmaInstance {
+  std::unique_ptr<topo::CanonicalTree> topology;
+  std::unique_ptr<core::CostModel> model;
+  traffic::TrafficMatrix tm{1};
+  std::unique_ptr<core::Allocation> allocation;  ///< packed initial state
+  double cut_cost_scale = 0.0;
+};
+
+/// Build the reduced OVMA instance (polynomial, as in the appendix).
+/// Throws std::invalid_argument for malformed GP instances.
+OvmaInstance reduce_gp_to_ovma(const GpInstance& gp);
+
+/// Total cut weight of a partition (part id per vertex) — the GP objective.
+double gp_cut_weight(const GpInstance& gp, const std::vector<int>& parts);
+
+/// True iff `parts` is a feasible GP partition (sizes ≤ K).
+bool gp_partition_feasible(const GpInstance& gp, const std::vector<int>& parts);
+
+/// Answer the GP decision problem by solving the reduced OVMA instance
+/// exactly. Only for small instances (exact search). Returns true iff a
+/// partition with cut weight ≤ goal_j exists.
+bool gp_decide_via_ovma(const GpInstance& gp);
+
+}  // namespace score::baselines

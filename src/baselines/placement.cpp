@@ -1,0 +1,97 @@
+#include "baselines/placement.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace score::baselines {
+
+const char* placement_name(PlacementStrategy s) {
+  switch (s) {
+    case PlacementStrategy::kRandom: return "random";
+    case PlacementStrategy::kRoundRobin: return "round-robin";
+    case PlacementStrategy::kPacked: return "packed";
+  }
+  return "unknown";
+}
+
+core::Allocation make_allocation(const topo::Topology& topology,
+                                 const core::ServerCapacity& capacity,
+                                 std::size_t num_vms, const core::VmSpec& spec,
+                                 PlacementStrategy strategy, util::Rng& rng) {
+  return make_allocation(topology, capacity,
+                         std::vector<core::VmSpec>(num_vms, spec), strategy, rng);
+}
+
+core::Allocation make_allocation(const topo::Topology& topology,
+                                 const core::ServerCapacity& capacity,
+                                 const std::vector<core::VmSpec>& specs,
+                                 PlacementStrategy strategy, util::Rng& rng) {
+  const std::size_t servers = topology.num_hosts();
+  const std::size_t num_vms = specs.size();
+  core::Allocation alloc(servers, capacity);
+
+  switch (strategy) {
+    case PlacementStrategy::kRandom: {
+      for (std::size_t i = 0; i < num_vms; ++i) {
+        const core::VmSpec& spec = specs[i];
+        // Rejection-sample a feasible server; fall back to linear scan when
+        // the fleet is nearly full.
+        core::ServerId s = core::kInvalidServer;
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          auto cand = static_cast<core::ServerId>(rng.index(servers));
+          if (alloc.can_host(cand, spec)) {
+            s = cand;
+            break;
+          }
+        }
+        if (s == core::kInvalidServer) {
+          for (std::size_t cand = 0; cand < servers; ++cand) {
+            if (alloc.can_host(static_cast<core::ServerId>(cand), spec)) {
+              s = static_cast<core::ServerId>(cand);
+              break;
+            }
+          }
+        }
+        if (s == core::kInvalidServer) {
+          throw std::runtime_error("make_allocation: fleet does not fit");
+        }
+        alloc.add_vm(spec, s);
+      }
+      break;
+    }
+    case PlacementStrategy::kRoundRobin: {
+      std::size_t cursor = 0;
+      for (std::size_t i = 0; i < num_vms; ++i) {
+        const core::VmSpec& spec = specs[i];
+        std::size_t tried = 0;
+        while (!alloc.can_host(static_cast<core::ServerId>(cursor), spec)) {
+          cursor = (cursor + 1) % servers;
+          if (++tried > servers) {
+            throw std::runtime_error("make_allocation: fleet does not fit");
+          }
+        }
+        alloc.add_vm(spec, static_cast<core::ServerId>(cursor));
+        cursor = (cursor + 1) % servers;
+      }
+      break;
+    }
+    case PlacementStrategy::kPacked: {
+      std::size_t cursor = 0;
+      for (std::size_t i = 0; i < num_vms; ++i) {
+        const core::VmSpec& spec = specs[i];
+        while (cursor < servers &&
+               !alloc.can_host(static_cast<core::ServerId>(cursor), spec)) {
+          ++cursor;
+        }
+        if (cursor >= servers) {
+          throw std::runtime_error("make_allocation: fleet does not fit");
+        }
+        alloc.add_vm(spec, static_cast<core::ServerId>(cursor));
+      }
+      break;
+    }
+  }
+  return alloc;
+}
+
+}  // namespace score::baselines

@@ -1,0 +1,38 @@
+// Initial VM placement policies (paper §III: "DCs are built to support a
+// large number of VMs that are initially allocated either at random or in a
+// load-balanced manner").
+//
+// These produce the starting allocations that S-CORE, the GA and Remedy then
+// improve on: random (uniform feasible server), round-robin/load-balanced
+// (striped across servers) and packed (first-fit sequential — also the shape
+// of the GA's densely-packed initial individuals).
+#pragma once
+
+#include "core/allocation.hpp"
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace score::baselines {
+
+enum class PlacementStrategy { kRandom, kRoundRobin, kPacked };
+
+const char* placement_name(PlacementStrategy s);
+
+/// Build an allocation with one server per topology host, all servers having
+/// `capacity`, and `num_vms` VMs of identical `spec` placed per `strategy`.
+/// Throws when the fleet does not fit.
+core::Allocation make_allocation(const topo::Topology& topology,
+                                 const core::ServerCapacity& capacity,
+                                 std::size_t num_vms, const core::VmSpec& spec,
+                                 PlacementStrategy strategy, util::Rng& rng);
+
+/// Heterogeneous-VM variant: one spec per VM (e.g. per-VM NIC demand derived
+/// from the traffic matrix, which makes host bandwidth bind at high load —
+/// the §V-C threshold that grows S-CORE's deviation from the GA optimum as
+/// the TM densifies).
+core::Allocation make_allocation(const topo::Topology& topology,
+                                 const core::ServerCapacity& capacity,
+                                 const std::vector<core::VmSpec>& specs,
+                                 PlacementStrategy strategy, util::Rng& rng);
+
+}  // namespace score::baselines

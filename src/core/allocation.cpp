@@ -1,0 +1,100 @@
+#include "core/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace score::core {
+
+Allocation::Allocation(std::size_t num_servers, const ServerCapacity& capacity)
+    : Allocation(std::vector<ServerCapacity>(num_servers, capacity)) {}
+
+Allocation::Allocation(std::vector<ServerCapacity> capacities)
+    : capacities_(std::move(capacities)) {
+  if (capacities_.empty()) {
+    throw std::invalid_argument("Allocation: need at least one server");
+  }
+  server_vms_.resize(capacities_.size());
+  used_ram_.assign(capacities_.size(), 0.0);
+  used_cpu_.assign(capacities_.size(), 0.0);
+  used_net_.assign(capacities_.size(), 0.0);
+}
+
+bool Allocation::can_host(ServerId server, const VmSpec& spec) const {
+  const ServerCapacity& cap = capacities_.at(server);
+  return server_vms_[server].size() < cap.vm_slots &&
+         used_ram_[server] + spec.ram_mb <= cap.ram_mb &&
+         used_cpu_[server] + spec.cpu_cores <= cap.cpu_cores &&
+         used_net_[server] + spec.net_bps <= cap.net_bps;
+}
+
+VmId Allocation::add_vm(const VmSpec& spec, ServerId server) {
+  if (server >= num_servers()) {
+    throw std::out_of_range("Allocation::add_vm: bad server id");
+  }
+  if (!can_host(server, spec)) {
+    throw std::runtime_error("Allocation::add_vm: server cannot host VM");
+  }
+  const VmId id = static_cast<VmId>(vm_server_.size());
+  vm_server_.push_back(server);
+  vm_spec_.push_back(spec);
+  server_vms_[server].push_back(id);
+  used_ram_[server] += spec.ram_mb;
+  used_cpu_[server] += spec.cpu_cores;
+  used_net_[server] += spec.net_bps;
+  return id;
+}
+
+void Allocation::migrate(VmId vm, ServerId target) {
+  if (vm >= num_vms()) throw std::out_of_range("Allocation::migrate: bad vm id");
+  if (target >= num_servers()) {
+    throw std::out_of_range("Allocation::migrate: bad server id");
+  }
+  const ServerId source = vm_server_[vm];
+  if (source == target) return;
+  const VmSpec& spec = vm_spec_[vm];
+  if (!can_host(target, spec)) {
+    throw std::runtime_error("Allocation::migrate: target cannot host VM");
+  }
+  auto& src_list = server_vms_[source];
+  src_list.erase(std::find(src_list.begin(), src_list.end(), vm));
+  used_ram_[source] -= spec.ram_mb;
+  used_cpu_[source] -= spec.cpu_cores;
+  used_net_[source] -= spec.net_bps;
+
+  server_vms_[target].push_back(vm);
+  used_ram_[target] += spec.ram_mb;
+  used_cpu_[target] += spec.cpu_cores;
+  used_net_[target] += spec.net_bps;
+  vm_server_[vm] = target;
+}
+
+bool Allocation::check_consistency() const {
+  std::vector<std::size_t> slot_count(num_servers(), 0);
+  std::vector<double> ram(num_servers(), 0.0), cpu(num_servers(), 0.0),
+      net(num_servers(), 0.0);
+  for (VmId vm = 0; vm < num_vms(); ++vm) {
+    const ServerId s = vm_server_[vm];
+    if (s >= num_servers()) return false;
+    const auto& list = server_vms_[s];
+    if (std::find(list.begin(), list.end(), vm) == list.end()) return false;
+    ++slot_count[s];
+    ram[s] += vm_spec_[vm].ram_mb;
+    cpu[s] += vm_spec_[vm].cpu_cores;
+    net[s] += vm_spec_[vm].net_bps;
+  }
+  constexpr double kTol = 1e-6;
+  for (ServerId s = 0; s < num_servers(); ++s) {
+    if (server_vms_[s].size() != slot_count[s]) return false;
+    if (std::abs(ram[s] - used_ram_[s]) > kTol) return false;
+    if (std::abs(cpu[s] - used_cpu_[s]) > kTol) return false;
+    if (std::abs(net[s] - used_net_[s]) > kTol) return false;
+    if (slot_count[s] > capacities_[s].vm_slots) return false;
+    if (ram[s] > capacities_[s].ram_mb + kTol) return false;
+    if (cpu[s] > capacities_[s].cpu_cores + kTol) return false;
+    if (net[s] > capacities_[s].net_bps + kTol) return false;
+  }
+  return true;
+}
+
+}  // namespace score::core

@@ -1,0 +1,74 @@
+// VM-to-server allocation A with capacity accounting (paper §II, §V-B.5).
+//
+// An allocation maps every VM u to its hosting server σ(u) and maintains the
+// inverse server → VM-set index plus residual capacities (slots, RAM, CPU,
+// host NIC bandwidth). Placement and migration enforce the same feasibility
+// checks the Xen implementation probes for with capacity request/response
+// packets: free VM slots and available RAM (heterogeneous RAM supported),
+// extended with CPU and the bandwidth threshold of §V-C.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace score::core {
+
+class Allocation {
+ public:
+  /// `num_servers` identical servers. Server ids must match the topology's
+  /// host ids (one server per topology host).
+  Allocation(std::size_t num_servers, const ServerCapacity& capacity);
+
+  /// Heterogeneous servers.
+  explicit Allocation(std::vector<ServerCapacity> capacities);
+
+  std::size_t num_servers() const { return capacities_.size(); }
+  std::size_t num_vms() const { return vm_server_.size(); }
+
+  /// Create a VM with sequential id and place it. Throws if infeasible.
+  VmId add_vm(const VmSpec& spec, ServerId server);
+
+  /// True when `server` can additionally host a VM of the given spec.
+  bool can_host(ServerId server, const VmSpec& spec) const;
+
+  /// Move a VM to `target`. Throws if the target cannot host it.
+  /// Moving a VM to its current server is a no-op.
+  void migrate(VmId vm, ServerId target);
+
+  ServerId server_of(VmId vm) const { return vm_server_.at(vm); }
+  const VmSpec& spec(VmId vm) const { return vm_spec_.at(vm); }
+  const std::vector<VmId>& vms_on(ServerId server) const {
+    return server_vms_.at(server);
+  }
+  const ServerCapacity& capacity(ServerId server) const {
+    return capacities_.at(server);
+  }
+
+  std::size_t used_slots(ServerId server) const { return server_vms_.at(server).size(); }
+  double used_ram_mb(ServerId server) const { return used_ram_.at(server); }
+  double used_cpu(ServerId server) const { return used_cpu_.at(server); }
+  double used_net_bps(ServerId server) const { return used_net_.at(server); }
+
+  double free_ram_mb(ServerId server) const {
+    return capacities_.at(server).ram_mb - used_ram_.at(server);
+  }
+  std::size_t free_slots(ServerId server) const {
+    return capacities_.at(server).vm_slots - server_vms_.at(server).size();
+  }
+
+  /// Recomputes all indices from scratch and compares with the incrementally
+  /// maintained state; returns false on any divergence or capacity violation.
+  bool check_consistency() const;
+
+ private:
+  std::vector<ServerCapacity> capacities_;
+  std::vector<ServerId> vm_server_;
+  std::vector<VmSpec> vm_spec_;
+  std::vector<std::vector<VmId>> server_vms_;
+  std::vector<double> used_ram_;
+  std::vector<double> used_cpu_;
+  std::vector<double> used_net_;
+};
+
+}  // namespace score::core

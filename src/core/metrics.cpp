@@ -1,0 +1,69 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace score::core {
+
+namespace {
+// splitmix64 finaliser — same construction as baselines::pair_flow_hash but
+// kept dependency-free here (core must not depend on baselines).
+std::uint64_t mix_pair(std::uint32_t u, std::uint32_t v) {
+  if (u > v) std::swap(u, v);
+  std::uint64_t h = (static_cast<std::uint64_t>(u) << 32) | v;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+}  // namespace
+
+std::vector<std::vector<double>> tor_level_matrix(const topo::Topology& topology,
+                                                  const Allocation& alloc,
+                                                  const traffic::TrafficMatrix& tm) {
+  const std::size_t racks = topology.num_racks();
+  std::vector<std::vector<double>> matrix(racks, std::vector<double>(racks, 0.0));
+  for (const auto& [u, v, rate] : tm.pairs()) {
+    const int ru = topology.rack_of(alloc.server_of(u));
+    const int rv = topology.rack_of(alloc.server_of(v));
+    if (ru == rv) continue;  // intra-rack traffic never crosses the ToR uplink
+    matrix[static_cast<std::size_t>(ru)][static_cast<std::size_t>(rv)] += rate;
+    matrix[static_cast<std::size_t>(rv)][static_cast<std::size_t>(ru)] += rate;
+  }
+  return matrix;
+}
+
+double tor_matrix_peak(const std::vector<std::vector<double>>& matrix) {
+  double peak = 0.0;
+  for (const auto& row : matrix) {
+    for (double v : row) peak = std::max(peak, v);
+  }
+  return peak;
+}
+
+double tor_matrix_fill(const std::vector<std::vector<double>>& matrix) {
+  if (matrix.empty()) return 0.0;
+  std::size_t nonzero = 0, total = 0;
+  for (std::size_t r = 0; r < matrix.size(); ++r) {
+    for (std::size_t s = 0; s < matrix.size(); ++s) {
+      if (r == s) continue;
+      ++total;
+      if (matrix[r][s] > 0.0) ++nonzero;
+    }
+  }
+  return total ? static_cast<double>(nonzero) / static_cast<double>(total) : 0.0;
+}
+
+topo::LinkLoadMap link_loads_for(const topo::Topology& topology,
+                                 const Allocation& alloc,
+                                 const traffic::TrafficMatrix& tm) {
+  topo::LinkLoadMap loads(topology);
+  for (const auto& [u, v, rate] : tm.pairs()) {
+    loads.add_flow(alloc.server_of(u), alloc.server_of(v), rate, mix_pair(u, v));
+  }
+  return loads;
+}
+
+}  // namespace score::core

@@ -1,0 +1,36 @@
+// Evaluation metrics shared by the benchmark harness and examples:
+// rack(ToR)-level traffic matrices (Fig. 3a-c heat-map data) and per-layer
+// link-utilisation summaries (Fig. 4a).
+#pragma once
+
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "topology/link_load.hpp"
+#include "topology/topology.hpp"
+#include "traffic/traffic_matrix.hpp"
+
+namespace score::core {
+
+/// Rack-by-rack aggregate traffic implied by an allocation: entry (r, s) is
+/// the summed λ of VM pairs hosted in racks r and s (r != s; intra-rack
+/// traffic excluded, as ToR-level TMs only see traffic crossing the ToR).
+/// This is the quantity visualised by the paper's Fig. 3a-c.
+std::vector<std::vector<double>> tor_level_matrix(const topo::Topology& topology,
+                                                  const Allocation& alloc,
+                                                  const traffic::TrafficMatrix& tm);
+
+/// Peak entry of a ToR matrix (for normalising heat maps to [0, 1]).
+double tor_matrix_peak(const std::vector<std::vector<double>>& matrix);
+
+/// Fraction of non-zero rack pairs (the paper's TMs are sparse: "only a
+/// handful of ToRs become hotspots").
+double tor_matrix_fill(const std::vector<std::vector<double>>& matrix);
+
+/// Build the per-link load map implied by an allocation + TM, using the
+/// harness-wide per-pair ECMP hash.
+topo::LinkLoadMap link_loads_for(const topo::Topology& topology,
+                                 const Allocation& alloc,
+                                 const traffic::TrafficMatrix& tm);
+
+}  // namespace score::core

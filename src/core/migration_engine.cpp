@@ -1,0 +1,88 @@
+#include "core/migration_engine.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace score::core {
+
+bool MigrationEngine::target_feasible(const Allocation& alloc, ServerId target,
+                                      const VmSpec& spec) const {
+  if (!alloc.can_host(target, spec)) return false;
+  const double residual_net =
+      alloc.capacity(target).net_bps - alloc.used_net_bps(target);
+  return residual_net >= spec.net_bps + config_.bandwidth_headroom_bps;
+}
+
+std::vector<ServerId> MigrationEngine::candidate_servers(
+    const Allocation& alloc, const traffic::TrafficMatrix& tm, VmId u) const {
+  const ServerId source = alloc.server_of(u);
+  const auto& topo = model_->topology();
+
+  // Neighbours ranked by (level desc, traffic desc): the highest-level,
+  // heaviest peers are probed first (§V-B.5).
+  std::vector<std::tuple<int, double, ServerId>> ranked;
+  ranked.reserve(tm.neighbors(u).size());
+  for (const auto& [z, rate] : tm.neighbors(u)) {
+    const ServerId zs = alloc.server_of(z);
+    if (zs == source) continue;  // already colocated
+    ranked.emplace_back(topo.comm_level(source, zs), rate, zs);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) > std::get<0>(b);
+    return std::get<1>(a) > std::get<1>(b);
+  });
+
+  std::vector<ServerId> candidates;
+  auto push_unique = [&candidates, this](ServerId s) {
+    if (candidates.size() >= config_.max_candidates) return;
+    if (std::find(candidates.begin(), candidates.end(), s) == candidates.end()) {
+      candidates.push_back(s);
+    }
+  };
+
+  const std::size_t hosts_per_rack = topo.num_hosts() / topo.num_racks();
+  for (const auto& [level, rate, zs] : ranked) {
+    (void)level;
+    (void)rate;
+    push_unique(zs);
+    if (config_.probe_rack_siblings) {
+      const auto rack = static_cast<std::size_t>(topo.rack_of(zs));
+      const auto first = static_cast<ServerId>(rack * hosts_per_rack);
+      for (std::size_t i = 0; i < hosts_per_rack; ++i) {
+        const auto sibling = static_cast<ServerId>(first + i);
+        if (sibling != source) push_unique(sibling);
+      }
+    }
+    if (candidates.size() >= config_.max_candidates) break;
+  }
+  return candidates;
+}
+
+Decision MigrationEngine::evaluate(const Allocation& alloc,
+                                   const traffic::TrafficMatrix& tm, VmId u) const {
+  Decision best;
+  const VmSpec& spec = alloc.spec(u);
+  for (ServerId target : candidate_servers(alloc, tm, u)) {
+    ++best.candidates_probed;
+    if (!target_feasible(alloc, target, spec)) continue;
+    const double delta = model_->migration_delta(alloc, tm, u, target);
+    if (best.target == kInvalidServer || delta > best.delta) {
+      best.target = target;
+      best.delta = delta;
+    }
+  }
+  // Theorem 1: migrate iff the cost reduction exceeds the migration cost c_m.
+  best.migrate = best.target != kInvalidServer && best.delta > config_.migration_cost;
+  if (!best.migrate && best.target == kInvalidServer) best.delta = 0.0;
+  return best;
+}
+
+Decision MigrationEngine::evaluate_and_apply(Allocation& alloc,
+                                             const traffic::TrafficMatrix& tm,
+                                             VmId u) const {
+  Decision d = evaluate(alloc, tm, u);
+  if (d.migrate) alloc.migrate(u, d.target);
+  return d;
+}
+
+}  // namespace score::core

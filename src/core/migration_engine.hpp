@@ -1,0 +1,79 @@
+// S-CORE migration decision engine — paper §IV (Theorem 1) and §V-B.5.
+//
+// When a VM u holds the token, the engine (running in dom0 on u's behalf):
+//   1. ranks u's neighbours from highest to lowest communication level,
+//      breaking ties by pairwise traffic λ(z,u) — the order in which the Xen
+//      implementation probes candidate hypervisors;
+//   2. probes each neighbour's server for capacity (slots, RAM, CPU) and the
+//      bandwidth-headroom threshold of §V-C;
+//   3. computes the exact global-cost delta of moving u there (Lemma 3,
+//      local information only);
+//   4. migrates to the best candidate iff ΔC > c_m (Theorem 1).
+//
+// Besides servers hosting neighbours, sibling servers in a neighbour's rack
+// are probed as fallbacks: localising to the rack captures most of the gain
+// when the neighbour's own server is full (the paper's "next best choice
+// with adequate bandwidth").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/cost_model.hpp"
+
+namespace score::core {
+
+struct EngineConfig {
+  /// Migration (overhead) cost c_m; the paper's simulations use 0 for the
+  /// GA comparison and sweep it in §VI (see bench_ablation_cm).
+  double migration_cost = 0.0;
+  /// Required residual host-NIC bandwidth at the target beyond the VM's own
+  /// demand (§V-C link-load threshold). 0 disables the extra headroom.
+  double bandwidth_headroom_bps = 0.0;
+  /// Cap on distinct candidate servers probed per decision (capacity
+  /// request/response round-trips in the real system).
+  std::size_t max_candidates = 32;
+  /// Also consider sibling servers within candidate racks when the primary
+  /// candidate server cannot host the VM.
+  bool probe_rack_siblings = true;
+};
+
+struct Decision {
+  bool migrate = false;
+  ServerId target = kInvalidServer;
+  /// ΔC of the chosen target (or the best rejected one when migrate==false).
+  double delta = 0.0;
+  std::size_t candidates_probed = 0;
+};
+
+class MigrationEngine {
+ public:
+  MigrationEngine(const CostModel& model, EngineConfig config = {})
+      : model_(&model), config_(config) {}
+
+  const EngineConfig& config() const { return config_; }
+  const CostModel& cost_model() const { return *model_; }
+
+  /// Evaluate the token held for VM u. Pure: does not mutate the allocation.
+  Decision evaluate(const Allocation& alloc, const traffic::TrafficMatrix& tm,
+                    VmId u) const;
+
+  /// Evaluate and, when Theorem 1 is satisfied, apply the migration.
+  Decision evaluate_and_apply(Allocation& alloc, const traffic::TrafficMatrix& tm,
+                              VmId u) const;
+
+  /// Candidate target servers for u in probe order (deduplicated).
+  std::vector<ServerId> candidate_servers(const Allocation& alloc,
+                                          const traffic::TrafficMatrix& tm,
+                                          VmId u) const;
+
+ private:
+  bool target_feasible(const Allocation& alloc, ServerId target,
+                       const VmSpec& spec) const;
+
+  const CostModel* model_;
+  EngineConfig config_;
+};
+
+}  // namespace score::core

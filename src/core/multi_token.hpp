@@ -1,0 +1,53 @@
+// Multi-token extension — parallelising S-CORE's control loop.
+//
+// The paper serialises all migration decisions through a single token, which
+// makes one full iteration take |V| holds. Because Theorem 1's delta is
+// computed against the *current* allocation and applied atomically, several
+// tokens can safely circulate over disjoint VM subsets: every accepted
+// migration still strictly reduces the global cost at the moment it commits,
+// so monotonicity and convergence are preserved while iteration wall-clock
+// shrinks by roughly the token count. (The single-token case is exactly the
+// paper's Round-Robin algorithm; k > 1 is an extension we evaluate in
+// bench_ablation_tokens.)
+//
+// Tokens own contiguous VM-id ranges and visit them in ascending order
+// (Round-Robin within the partition).
+#pragma once
+
+#include <vector>
+
+#include "core/migration_engine.hpp"
+#include "core/simulation.hpp"
+
+namespace score::core {
+
+struct MultiTokenConfig {
+  std::size_t tokens = 4;
+  std::size_t iterations = 5;
+  bool stop_when_stable = true;
+  double token_hold_s = 0.02;
+  double token_pass_per_hop_s = 0.0005;
+  double migration_bandwidth_bps = 1e9;
+  double precopy_factor = 1.3;
+  double migration_overhead_s = 0.1;
+};
+
+class MultiTokenSimulation {
+ public:
+  MultiTokenSimulation(const MigrationEngine& engine, Allocation& alloc,
+                       const traffic::TrafficMatrix& tm)
+      : engine_(&engine), alloc_(&alloc), tm_(&tm) {}
+
+  /// Runs until `iterations` global passes complete (an iteration ends when
+  /// every token finished a pass over its partition) or no token migrated
+  /// anything during a pass. Reuses SimResult: `iterations[i]` aggregates all
+  /// partitions' holds/migrations for global pass i.
+  SimResult run(const MultiTokenConfig& config = {});
+
+ private:
+  const MigrationEngine* engine_;
+  Allocation* alloc_;
+  const traffic::TrafficMatrix* tm_;
+};
+
+}  // namespace score::core

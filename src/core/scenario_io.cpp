@@ -1,0 +1,112 @@
+#include "core/scenario_io.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace score::core {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("load_scenario: " + what);
+}
+
+std::string next_line(std::istream& in, const char* context) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') return line;
+  }
+  fail(std::string("unexpected end of input while reading ") + context);
+}
+
+std::size_t read_count(std::istream& in, const std::string& keyword) {
+  std::istringstream ls(next_line(in, keyword.c_str()));
+  std::string word;
+  std::size_t n = 0;
+  if (!(ls >> word >> n) || word != keyword) {
+    fail("expected '" + keyword + " <count>'");
+  }
+  return n;
+}
+
+}  // namespace
+
+void save_scenario(std::ostream& out, const Allocation& alloc,
+                   const traffic::TrafficMatrix& tm) {
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "score-scenario v1\n";
+  out << "servers " << alloc.num_servers() << "\n";
+  for (ServerId s = 0; s < alloc.num_servers(); ++s) {
+    const ServerCapacity& cap = alloc.capacity(s);
+    out << cap.vm_slots << ' ' << cap.ram_mb << ' ' << cap.cpu_cores << ' '
+        << cap.net_bps << "\n";
+  }
+  out << "vms " << alloc.num_vms() << "\n";
+  for (VmId vm = 0; vm < alloc.num_vms(); ++vm) {
+    const VmSpec& spec = alloc.spec(vm);
+    out << alloc.server_of(vm) << ' ' << spec.ram_mb << ' ' << spec.cpu_cores
+        << ' ' << spec.net_bps << "\n";
+  }
+  const auto pairs = tm.pairs();
+  out << "pairs " << pairs.size() << "\n";
+  for (const auto& [u, v, rate] : pairs) {
+    out << u << ' ' << v << ' ' << rate << "\n";
+  }
+}
+
+Scenario load_scenario(std::istream& in) {
+  if (next_line(in, "magic") != "score-scenario v1") {
+    fail("bad magic (expected 'score-scenario v1')");
+  }
+
+  const std::size_t num_servers = read_count(in, "servers");
+  if (num_servers == 0) fail("scenario needs at least one server");
+  std::vector<ServerCapacity> caps(num_servers);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    std::istringstream ls(next_line(in, "server capacity"));
+    if (!(ls >> caps[s].vm_slots >> caps[s].ram_mb >> caps[s].cpu_cores >>
+          caps[s].net_bps)) {
+      fail("malformed server capacity line " + std::to_string(s));
+    }
+  }
+
+  Allocation alloc(std::move(caps));
+  const std::size_t num_vms = read_count(in, "vms");
+  for (std::size_t vm = 0; vm < num_vms; ++vm) {
+    std::istringstream ls(next_line(in, "vm placement"));
+    ServerId server = 0;
+    VmSpec spec;
+    if (!(ls >> server >> spec.ram_mb >> spec.cpu_cores >> spec.net_bps)) {
+      fail("malformed vm line " + std::to_string(vm));
+    }
+    if (server >= num_servers) {
+      fail("vm " + std::to_string(vm) + " placed on unknown server " +
+           std::to_string(server));
+    }
+    alloc.add_vm(spec, server);  // enforces capacity feasibility
+  }
+
+  traffic::TrafficMatrix tm(num_vms == 0 ? 1 : num_vms);
+  const std::size_t num_pairs = read_count(in, "pairs");
+  for (std::size_t p = 0; p < num_pairs; ++p) {
+    std::istringstream ls(next_line(in, "traffic pair"));
+    traffic::VmId u = 0, v = 0;
+    double rate = 0.0;
+    if (!(ls >> u >> v >> rate)) {
+      fail("malformed pair line " + std::to_string(p));
+    }
+    if (u >= num_vms || v >= num_vms) {
+      fail("pair line " + std::to_string(p) + " references unknown VM");
+    }
+    tm.set(u, v, rate);
+  }
+
+  return Scenario{std::move(alloc), std::move(tm)};
+}
+
+}  // namespace score::core

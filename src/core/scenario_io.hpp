@@ -1,0 +1,40 @@
+// Scenario serialization: save/load a (server capacities, VM placement,
+// traffic matrix) snapshot as a plain-text, line-oriented format.
+//
+// Lets users capture the exact state an experiment ran on — e.g. dump a
+// generated workload once and replay it across S-CORE / GA / Remedy runs or
+// share it as a repro case. The format is versioned and strictly validated
+// on load (counts, ranges, capacity feasibility via Allocation's own
+// checks).
+//
+//   score-scenario v1
+//   servers <n>
+//   <vm_slots> <ram_mb> <cpu_cores> <net_bps>          x n
+//   vms <m>
+//   <server> <ram_mb> <cpu_cores> <net_bps>            x m
+//   pairs <p>
+//   <u> <v> <rate>                                     x p
+#pragma once
+
+#include <iosfwd>
+#include <utility>
+
+#include "core/allocation.hpp"
+#include "traffic/traffic_matrix.hpp"
+
+namespace score::core {
+
+struct Scenario {
+  Allocation allocation;
+  traffic::TrafficMatrix tm;
+};
+
+/// Write the snapshot. The stream's formatting state is not preserved.
+void save_scenario(std::ostream& out, const Allocation& alloc,
+                   const traffic::TrafficMatrix& tm);
+
+/// Parse a snapshot; throws std::runtime_error with a line-context message on
+/// any malformed input (bad magic, counts, ids, or infeasible placements).
+Scenario load_scenario(std::istream& in);
+
+}  // namespace score::core

@@ -1,0 +1,83 @@
+#include "core/simulation.hpp"
+
+namespace score::core {
+
+SimResult ScoreSimulation::run(const SimConfig& config) {
+  const CostModel& model = engine_->cost_model();
+  const std::size_t num_vms = tm_->num_vms();
+
+  SimResult result;
+  result.initial_cost = model.total_cost(*alloc_, *tm_);
+  double cost = result.initial_cost;
+  result.series.push_back({0.0, cost, 0});
+
+  sim::EventQueue queue;
+  VmId holder = policy_->start(num_vms);
+  std::size_t holds_done = 0;
+  std::size_t iteration_migrations = 0;
+  std::size_t iteration_holds = 0;
+  bool stopped = false;
+
+  // One event per token hold; each event schedules its successor, so the
+  // queue always has at most one pending event (token serialisation).
+  sim::EventFn process_hold = [&]() {
+    if (stopped) return;
+    policy_->observe(model, *alloc_, *tm_, holder);
+    const Decision d = engine_->evaluate(*alloc_, *tm_, holder);
+
+    double busy = config.token_hold_s;
+    if (d.migrate) {
+      const double bytes = alloc_->spec(holder).ram_mb * 1e6 * config.precopy_factor;
+      busy += bytes * 8.0 / config.migration_bandwidth_bps +
+              config.migration_overhead_s;
+      alloc_->migrate(holder, d.target);
+      cost -= d.delta;  // Lemma 3: the global cost drops by exactly ΔC
+      ++result.total_migrations;
+      ++iteration_migrations;
+    }
+    ++holds_done;
+    ++iteration_holds;
+
+    if (config.record_every_hold || d.migrate) {
+      result.series.push_back({queue.now() + busy, cost, result.total_migrations});
+    }
+
+    const bool iteration_end = iteration_holds == num_vms;
+    if (iteration_end) {
+      IterationStats it;
+      it.holds = iteration_holds;
+      it.migrations = iteration_migrations;
+      it.migrated_ratio = static_cast<double>(iteration_migrations) /
+                          static_cast<double>(iteration_holds);
+      it.cost_at_end = cost;
+      it.time_at_end_s = queue.now() + busy;
+      result.iterations.push_back(it);
+      const bool stable = config.stop_when_stable && iteration_migrations == 0;
+      iteration_holds = 0;
+      iteration_migrations = 0;
+      if (result.iterations.size() >= config.iterations || stable) {
+        stopped = true;
+        queue.schedule_in(busy, [] {});  // advance clock past the busy period
+        return;
+      }
+    }
+
+    const VmId next = policy_->next(holder);
+    const int hops = model.topology().hop_count(alloc_->server_of(holder),
+                                                alloc_->server_of(next));
+    holder = next;
+    queue.schedule_in(busy + config.token_pass_per_hop_s * hops, process_hold);
+  };
+
+  queue.schedule_at(0.0, process_hold);
+  queue.run();
+
+  result.final_cost = cost;
+  result.duration_s = queue.now();
+  if (result.series.empty() || result.series.back().cost != cost) {
+    result.series.push_back({result.duration_s, cost, result.total_migrations});
+  }
+  return result;
+}
+
+}  // namespace score::core

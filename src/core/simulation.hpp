@@ -1,0 +1,82 @@
+// Iterative S-CORE simulation — the paper's §VI simulation environment.
+//
+// Drives token passing over the event-queue substrate: every token hold
+// costs a measurement/decision interval, token transfer costs a per-hop
+// network latency, and each accepted migration occupies the token for the
+// VM's transfer time (pre-copied RAM over the migration bandwidth). One
+// *iteration* is |V| consecutive token holds (for Round-Robin exactly one
+// pass over all VMs), matching Fig. 2's x-axis. The recorded time series of
+// the global communication cost is what Fig. 3d-i and Fig. 4b plot,
+// normalised by a baseline (GA-approximated optimum or initial cost).
+#pragma once
+
+#include <vector>
+
+#include "core/migration_engine.hpp"
+#include "core/token_policy.hpp"
+#include "sim/event_queue.hpp"
+
+namespace score::core {
+
+struct SimConfig {
+  std::size_t iterations = 5;
+  /// Measurement + decision time charged per token hold (dom0 work).
+  double token_hold_s = 0.02;
+  /// Per-hop token transfer latency between consecutive holders' servers.
+  double token_pass_per_hop_s = 0.0005;
+  /// Bandwidth available to live migrations.
+  double migration_bandwidth_bps = 1e9;
+  /// Pre-copy expansion: bytes moved ≈ factor × RAM (re-copied dirty pages).
+  double precopy_factor = 1.3;
+  /// Fixed per-migration control overhead (setup + stop-and-copy).
+  double migration_overhead_s = 0.1;
+  /// Stop early once an entire iteration makes no migration.
+  bool stop_when_stable = true;
+  /// Record a time-series point after every token hold (else per iteration).
+  bool record_every_hold = false;
+};
+
+struct TimePoint {
+  double time_s = 0.0;
+  double cost = 0.0;
+  std::size_t migrations = 0;  ///< cumulative
+};
+
+struct IterationStats {
+  std::size_t holds = 0;
+  std::size_t migrations = 0;
+  double migrated_ratio = 0.0;  ///< migrations / holds (Fig. 2 y-axis)
+  double cost_at_end = 0.0;
+  double time_at_end_s = 0.0;
+};
+
+struct SimResult {
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+  std::size_t total_migrations = 0;
+  double duration_s = 0.0;
+  std::vector<TimePoint> series;
+  std::vector<IterationStats> iterations;
+
+  double reduction() const {
+    return initial_cost > 0.0 ? 1.0 - final_cost / initial_cost : 0.0;
+  }
+};
+
+class ScoreSimulation {
+ public:
+  /// All references must outlive the simulation. The allocation is mutated.
+  ScoreSimulation(const MigrationEngine& engine, TokenPolicy& policy,
+                  Allocation& alloc, const traffic::TrafficMatrix& tm)
+      : engine_(&engine), policy_(&policy), alloc_(&alloc), tm_(&tm) {}
+
+  SimResult run(const SimConfig& config = {});
+
+ private:
+  const MigrationEngine* engine_;
+  TokenPolicy* policy_;
+  Allocation* alloc_;
+  const traffic::TrafficMatrix* tm_;
+};
+
+}  // namespace score::core

@@ -1,0 +1,169 @@
+#include "core/token_policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace score::core {
+
+// ---------------------------------------------------------------- RoundRobin
+
+VmId RoundRobinPolicy::start(std::size_t num_vms) {
+  if (num_vms == 0) throw std::invalid_argument("RoundRobin: no VMs");
+  num_vms_ = num_vms;
+  return 0;  // v0: lowest id
+}
+
+VmId RoundRobinPolicy::next(VmId holder) {
+  return static_cast<VmId>((holder + 1) % num_vms_);
+}
+
+// ---------------------------------------------------------- HighestLevelFirst
+
+VmId HighestLevelFirstPolicy::start(std::size_t num_vms) {
+  if (num_vms == 0) throw std::invalid_argument("HLF: no VMs");
+  // "The highest communication level is initialized at zero for all VMs."
+  levels_.assign(num_vms, 0);
+  checked_.assign(num_vms, false);
+  checked_count_ = 0;
+  return 0;
+}
+
+void HighestLevelFirstPolicy::observe(const CostModel& model,
+                                      const Allocation& alloc,
+                                      const traffic::TrafficMatrix& tm,
+                                      VmId holder) {
+  // The holder knows its own highest level exactly...
+  levels_.at(holder) =
+      static_cast<std::uint8_t>(model.highest_level(alloc, tm, holder));
+  // ...and raises (never lowers) the entries of the VMs it talks to
+  // (Algorithm 1 lines 3-5).
+  for (const auto& [v, rate] : tm.neighbors(holder)) {
+    (void)rate;
+    const auto lvl = static_cast<std::uint8_t>(model.level(alloc, holder, v));
+    if (levels_[v] < lvl) levels_[v] = lvl;
+  }
+}
+
+VmId HighestLevelFirstPolicy::next(VmId holder) {
+  const auto n = static_cast<VmId>(levels_.size());
+  if (!checked_[holder]) {
+    checked_[holder] = true;
+    ++checked_count_;
+  }
+  if (n == 1) return holder;
+
+  // Algorithm 1 lines 6-14: starting from holder ⊕ 1 in cyclic id order, find
+  // the first *unchecked* VM at the holder's current level; drop a level when
+  // none is found there.
+  if (checked_count_ < n) {
+    for (int cl = levels_[holder]; cl >= 0; --cl) {
+      for (VmId step = 1; step < n; ++step) {
+        const VmId z = static_cast<VmId>((holder + step) % n);
+        if (!checked_[z] && levels_[z] == cl) return z;
+      }
+    }
+    // Unchecked VMs remain but only at levels *above* the holder's (their
+    // entries were raised by gossip after the holder's own hold): take the
+    // highest-level, lowest-id one so the round still visits everyone once.
+    VmId best = kInvalidVm;
+    for (VmId v = 0; v < n; ++v) {
+      if (!checked_[v] && (best == kInvalidVm || levels_[v] > levels_[best])) {
+        best = v;
+      }
+    }
+    if (best != kInvalidVm) return best;
+  }
+
+  // Lines 15-16: no unchecked VM left — start a new round from the lowest-id
+  // VM among those at the maximum known level.
+  std::fill(checked_.begin(), checked_.end(), false);
+  checked_count_ = 0;
+  const std::uint8_t max_level = *std::max_element(levels_.begin(), levels_.end());
+  for (VmId v = 0; v < n; ++v) {
+    if (levels_[v] == max_level && v != holder) return v;
+  }
+  return static_cast<VmId>((holder + 1) % n);
+}
+
+// -------------------------------------------------------------------- Random
+
+VmId RandomPolicy::start(std::size_t num_vms) {
+  if (num_vms == 0) throw std::invalid_argument("Random: no VMs");
+  order_.resize(num_vms);
+  std::iota(order_.begin(), order_.end(), 0u);
+  reshuffle();
+  pos_ = 0;
+  return order_[0];
+}
+
+void RandomPolicy::reshuffle() { rng_.shuffle(order_); }
+
+VmId RandomPolicy::next(VmId holder) {
+  (void)holder;
+  ++pos_;
+  if (pos_ >= order_.size()) {
+    reshuffle();
+    pos_ = 0;
+  }
+  return order_[pos_];
+}
+
+// ------------------------------------------------------- HighestTrafficFirst
+
+VmId HighestTrafficFirstPolicy::start(std::size_t num_vms) {
+  if (num_vms == 0) throw std::invalid_argument("HTF: no VMs");
+  volume_.assign(num_vms, 0.0);
+  order_.resize(num_vms);
+  std::iota(order_.begin(), order_.end(), 0u);
+  pos_ = 0;
+  return order_[0];
+}
+
+void HighestTrafficFirstPolicy::observe(const CostModel& model,
+                                        const Allocation& alloc,
+                                        const traffic::TrafficMatrix& tm,
+                                        VmId holder) {
+  (void)model;
+  (void)alloc;
+  double total = 0.0;
+  for (const auto& [v, rate] : tm.neighbors(holder)) {
+    (void)v;
+    total += rate;
+  }
+  volume_[holder] = total;
+}
+
+void HighestTrafficFirstPolicy::resort() {
+  std::stable_sort(order_.begin(), order_.end(), [this](VmId a, VmId b) {
+    if (volume_[a] != volume_[b]) return volume_[a] > volume_[b];
+    return a < b;
+  });
+}
+
+VmId HighestTrafficFirstPolicy::next(VmId holder) {
+  (void)holder;
+  ++pos_;
+  if (pos_ >= order_.size()) {
+    resort();
+    pos_ = 0;
+  }
+  return order_[pos_];
+}
+
+// ------------------------------------------------------------------- factory
+
+std::unique_ptr<TokenPolicy> make_policy(const std::string& name,
+                                         std::uint64_t seed) {
+  if (name == "round-robin" || name == "rr") return std::make_unique<RoundRobinPolicy>();
+  if (name == "highest-level-first" || name == "hlf") {
+    return std::make_unique<HighestLevelFirstPolicy>();
+  }
+  if (name == "random") return std::make_unique<RandomPolicy>(seed);
+  if (name == "highest-traffic-first" || name == "htf") {
+    return std::make_unique<HighestTrafficFirstPolicy>();
+  }
+  throw std::invalid_argument("make_policy: unknown policy '" + name + "'");
+}
+
+}  // namespace score::core

@@ -1,0 +1,126 @@
+// Token-passing policies — paper §V-A.
+//
+// S-CORE serialises migration decisions with a token. The policy decides
+// which VM receives the token next:
+//
+//  * RoundRobin — ascending VM id, wrapping (paper §V-A.1). The token's id
+//    order is total because ids are unique (IPv4 addresses on Xen).
+//  * HighestLevelFirst — Algorithm 1. The token carries an 8-bit "highest
+//    communication level" l_v per VM, lazily gossiped: when VM u holds the
+//    token it writes its own exact level and raises the entries of its
+//    neighbours. The token then goes to the next VM (in cyclic id order) at
+//    the holder's current level, falling back to lower levels, and restarts
+//    from the highest-level lowest-id VM when nothing is found.
+//
+// Two additional policies from the companion technical report (TR-2013-338)
+// are provided for the ablation study: Random (uniformly random permutation
+// per iteration) and HighestTrafficFirst (heaviest-communicating VMs first).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/cost_model.hpp"
+#include "util/rng.hpp"
+
+namespace score::core {
+
+class TokenPolicy {
+ public:
+  virtual ~TokenPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Initialise policy state for `num_vms` VMs and return the first holder.
+  virtual VmId start(std::size_t num_vms) = 0;
+
+  /// Called while VM `holder` has the token, before the migration decision;
+  /// lets the policy update its gossip state from holder-local information.
+  virtual void observe(const CostModel& model, const Allocation& alloc,
+                       const traffic::TrafficMatrix& tm, VmId holder) {
+    (void)model;
+    (void)alloc;
+    (void)tm;
+    (void)holder;
+  }
+
+  /// Next token holder after `holder` finished its decision.
+  virtual VmId next(VmId holder) = 0;
+};
+
+/// Paper §V-A.1: ascending id order, wrapping at the end.
+class RoundRobinPolicy final : public TokenPolicy {
+ public:
+  std::string name() const override { return "round-robin"; }
+  VmId start(std::size_t num_vms) override;
+  VmId next(VmId holder) override;
+
+ private:
+  std::size_t num_vms_ = 0;
+};
+
+/// Paper §V-A.2, Algorithm 1. VMs already holding the token in the current
+/// round are "checked" (Algorithm 1 line 15) and skipped until the round
+/// completes; the next round then restarts from the lowest-id VM among those
+/// at the highest known level (line 16). This realises the per-round visited
+/// semantics the algorithm's "unchecked VMs" wording implies — without it the
+/// token would ping-pong between the two highest-level VMs.
+class HighestLevelFirstPolicy final : public TokenPolicy {
+ public:
+  std::string name() const override { return "highest-level-first"; }
+  VmId start(std::size_t num_vms) override;
+  void observe(const CostModel& model, const Allocation& alloc,
+               const traffic::TrafficMatrix& tm, VmId holder) override;
+  VmId next(VmId holder) override;
+
+  /// Token-carried level estimate l_v (for tests/inspection).
+  std::uint8_t token_level(VmId v) const { return levels_.at(v); }
+
+ private:
+  std::vector<std::uint8_t> levels_;
+  std::vector<bool> checked_;  ///< visited in the current round
+  std::size_t checked_count_ = 0;
+};
+
+/// Ablation: uniformly random permutation, reshuffled every iteration.
+class RandomPolicy final : public TokenPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 7) : rng_(seed) {}
+  std::string name() const override { return "random"; }
+  VmId start(std::size_t num_vms) override;
+  VmId next(VmId holder) override;
+
+ private:
+  void reshuffle();
+
+  util::Rng rng_;
+  std::vector<VmId> order_;
+  std::size_t pos_ = 0;
+};
+
+/// Ablation: VMs ordered by total traffic volume (descending), recomputed
+/// from gossip observations each iteration. Heavy communicators move first.
+class HighestTrafficFirstPolicy final : public TokenPolicy {
+ public:
+  std::string name() const override { return "highest-traffic-first"; }
+  VmId start(std::size_t num_vms) override;
+  void observe(const CostModel& model, const Allocation& alloc,
+               const traffic::TrafficMatrix& tm, VmId holder) override;
+  VmId next(VmId holder) override;
+
+ private:
+  void resort();
+
+  std::vector<double> volume_;
+  std::vector<VmId> order_;
+  std::size_t pos_ = 0;
+};
+
+/// Factory by name ("round-robin", "hlf", "random", "htf").
+std::unique_ptr<TokenPolicy> make_policy(const std::string& name,
+                                         std::uint64_t seed = 7);
+
+}  // namespace score::core

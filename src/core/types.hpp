@@ -1,0 +1,38 @@
+// Shared core types: VM and server identities, resource specs and capacities.
+//
+// The paper assigns every VM a unique, totally ordered 32-bit id (its IPv4
+// address in the Xen implementation); servers have slot/RAM/CPU/bandwidth
+// capacities that migration targets are probed for (§V-B.5: capacity
+// request/response packets report free VM slots and available RAM).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace score::core {
+
+using VmId = std::uint32_t;
+using ServerId = std::uint32_t;
+
+inline constexpr VmId kInvalidVm = std::numeric_limits<VmId>::max();
+inline constexpr ServerId kInvalidServer = std::numeric_limits<ServerId>::max();
+
+/// Per-VM resource requirements. Defaults mirror the paper's testbed guests
+/// (196 MB Ubuntu VMs) with a nominal single vCPU.
+struct VmSpec {
+  double ram_mb = 196.0;
+  double cpu_cores = 1.0;
+  /// Average NIC load the VM imposes on its host uplink (bps); the engine's
+  /// bandwidth-threshold check (§V-C) uses this.
+  double net_bps = 0.0;
+};
+
+/// Per-server capacity. Paper §VI: "Each host can accommodate up to 16 VMs".
+struct ServerCapacity {
+  std::size_t vm_slots = 16;
+  double ram_mb = 16.0 * 4096.0;
+  double cpu_cores = 16.0;
+  double net_bps = 1e9;
+};
+
+}  // namespace score::core

@@ -1,0 +1,566 @@
+#include "hypervisor/distributed_runtime.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <tuple>
+#include <unordered_map>
+
+namespace score::hypervisor {
+
+namespace {
+
+// ---- wire helpers ----------------------------------------------------------
+
+void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v));
+  buf.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& buf, std::size_t pos) {
+  return static_cast<std::uint32_t>(buf[pos]) |
+         (static_cast<std::uint32_t>(buf[pos + 1]) << 8) |
+         (static_cast<std::uint32_t>(buf[pos + 2]) << 16) |
+         (static_cast<std::uint32_t>(buf[pos + 3]) << 24);
+}
+
+// Token entry status byte: bit 7 = "checked this round" (Algorithm 1 line
+// 15's bookkeeping), bits 0..6 = communication level.
+constexpr std::uint8_t kCheckedBit = 0x80;
+
+struct WireEntry {
+  Ipv4 vm = 0;
+  std::uint8_t level = 0;
+  bool checked = false;
+};
+
+std::vector<std::uint8_t> encode_token(Ipv4 holder,
+                                       const std::vector<WireEntry>& entries) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(4 + entries.size() * 5);
+  put_u32(buf, holder);
+  for (const WireEntry& e : entries) {
+    put_u32(buf, e.vm);
+    buf.push_back(static_cast<std::uint8_t>(e.level |
+                                            (e.checked ? kCheckedBit : 0)));
+  }
+  return buf;
+}
+
+std::pair<Ipv4, std::vector<WireEntry>> decode_token(
+    const std::vector<std::uint8_t>& buf) {
+  if (buf.size() < 4 || (buf.size() - 4) % 5 != 0) {
+    throw std::invalid_argument("distributed token: truncated buffer");
+  }
+  const Ipv4 holder = get_u32(buf, 0);
+  std::vector<WireEntry> entries;
+  entries.reserve((buf.size() - 4) / 5);
+  for (std::size_t pos = 4; pos < buf.size(); pos += 5) {
+    WireEntry e;
+    e.vm = get_u32(buf, pos);
+    e.level = buf[pos + 4] & ~kCheckedBit;
+    e.checked = (buf[pos + 4] & kCheckedBit) != 0;
+    if (!entries.empty() && e.vm <= entries.back().vm) {
+      throw std::invalid_argument("distributed token: ids not ascending");
+    }
+    entries.push_back(e);
+  }
+  return {holder, std::move(entries)};
+}
+
+// ---- token policies over pure token state -----------------------------------
+
+std::size_t index_of(const std::vector<WireEntry>& entries, Ipv4 vm) {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), vm,
+      [](const WireEntry& e, Ipv4 v) { return e.vm < v; });
+  if (it == entries.end() || it->vm != vm) {
+    throw std::logic_error("token does not contain the holder VM");
+  }
+  return static_cast<std::size_t>(it - entries.begin());
+}
+
+Ipv4 next_round_robin(const std::vector<WireEntry>& entries, Ipv4 holder) {
+  const std::size_t i = index_of(entries, holder);
+  return entries[(i + 1) % entries.size()].vm;
+}
+
+/// Algorithm 1 with the per-round checked bits carried in the token.
+Ipv4 next_highest_level_first(std::vector<WireEntry>& entries, Ipv4 holder) {
+  const std::size_t n = entries.size();
+  const std::size_t h = index_of(entries, holder);
+  entries[h].checked = true;
+  if (n == 1) return holder;
+
+  const bool all_checked =
+      std::all_of(entries.begin(), entries.end(),
+                  [](const WireEntry& e) { return e.checked; });
+  if (!all_checked) {
+    for (int cl = entries[h].level; cl >= 0; --cl) {
+      for (std::size_t step = 1; step < n; ++step) {
+        const WireEntry& z = entries[(h + step) % n];
+        if (!z.checked && z.level == cl) return z.vm;
+      }
+    }
+    // Unchecked VMs remain only above the holder's level.
+    const WireEntry* best = nullptr;
+    for (const WireEntry& e : entries) {
+      if (!e.checked && (best == nullptr || e.level > best->level)) best = &e;
+    }
+    if (best != nullptr) return best->vm;
+  }
+
+  // New round: clear checked, restart from the lowest-id max-level VM.
+  for (WireEntry& e : entries) e.checked = false;
+  std::uint8_t max_level = 0;
+  for (const WireEntry& e : entries) max_level = std::max(max_level, e.level);
+  for (const WireEntry& e : entries) {
+    if (e.level == max_level && e.vm != holder) return e.vm;
+  }
+  return entries[(h + 1) % n].vm;
+}
+
+}  // namespace
+
+// ---- runtime ----------------------------------------------------------------
+
+struct DistributedScoreRuntime::Impl {
+  const core::CostModel* model;
+  core::Allocation* alloc;
+  const traffic::TrafficMatrix* tm;
+  RuntimeConfig cfg;
+
+  sim::EventQueue queue;
+  Ipam ipam;
+  std::unique_ptr<sim::Network> net;
+
+  RuntimeResult result;
+  std::size_t iter_holds = 0;
+  std::size_t iter_migrations = 0;
+  bool stopped = false;
+  bool use_hlf = false;
+
+  // Watchdog state (placement-manager role): last token wire snapshot and a
+  // progress counter compared between watchdog ticks.
+  std::vector<std::uint8_t> last_token_payload;
+  topo::HostId last_token_dst = 0;
+  std::uint64_t total_holds = 0;
+  std::uint64_t holds_at_last_check = 0;
+
+  // ---- per-host dom0 agent ---------------------------------------------------
+  struct Agent {
+    Impl* rt = nullptr;
+    topo::HostId host = 0;
+    FlowTable flows;
+
+    struct CapInfo {
+      std::size_t free_slots = 0;
+      double free_ram_mb = 0.0;
+      double free_cpu = 0.0;
+      double free_net_bps = 0.0;
+      bool received = false;
+    };
+
+    struct PendingDecision {
+      Ipv4 vm = 0;
+      std::uint32_t nonce = 0;  ///< discriminates probe responses across
+                                ///< restarted decision attempts (watchdog)
+      std::vector<WireEntry> entries;
+      /// Measured per-peer traffic loads λ(z,u) (TM rate units).
+      std::vector<std::pair<Ipv4, double>> peer_rates;
+      std::unordered_map<Ipv4, Ipv4> peer_dom0;  ///< peer VM -> its dom0 addr
+      std::size_t awaiting_locations = 0;
+      std::vector<Ipv4> candidates;  ///< candidate dom0 addresses, probe order
+      std::unordered_map<Ipv4, CapInfo> capacities;
+      std::size_t awaiting_capacities = 0;
+    };
+    std::optional<PendingDecision> pending;
+    std::uint32_t next_nonce = 1;
+
+    void on_message(const sim::Message& msg);
+    void on_token(const sim::Message& msg);
+    void on_locations_complete();
+    void on_capacities_complete();
+    void finish_hold(bool migrated);
+  };
+  std::vector<Agent> agents;
+
+  Impl(const core::CostModel& m, core::Allocation& a,
+       const traffic::TrafficMatrix& t, RuntimeConfig c)
+      : model(&m), alloc(&a), tm(&t), cfg(std::move(c)), ipam(m.topology()) {
+    if (alloc->num_vms() != tm->num_vms()) {
+      throw std::invalid_argument("DistributedScoreRuntime: alloc/TM mismatch");
+    }
+    if (cfg.policy == "highest-level-first" || cfg.policy == "hlf") {
+      use_hlf = true;
+    } else if (cfg.policy != "round-robin" && cfg.policy != "rr") {
+      throw std::invalid_argument("DistributedScoreRuntime: unknown policy '" +
+                                  cfg.policy + "'");
+    }
+    net = std::make_unique<sim::Network>(queue, model->topology());
+    for (core::VmId vm = 0; vm < alloc->num_vms(); ++vm) {
+      ipam.allocate_vm(alloc->server_of(vm));
+    }
+    agents.resize(model->topology().num_hosts());
+    for (topo::HostId h = 0; h < agents.size(); ++h) {
+      agents[h].rt = this;
+      agents[h].host = h;
+      net->attach(h, [this, h](const sim::Message& msg) {
+        agents[h].on_message(msg);
+      });
+    }
+  }
+
+  core::VmId vm_id(Ipv4 addr) const {
+    return static_cast<core::VmId>(addr - Ipam::kVmBase);
+  }
+  Ipv4 vm_addr(core::VmId id) const { return Ipam::kVmBase + id; }
+
+  void send(CtrlMsg type, topo::HostId from, topo::HostId to,
+            std::vector<std::uint8_t> payload) {
+    if (type == CtrlMsg::kToken) {
+      // Placement-manager bookkeeping for watchdog recovery.
+      last_token_payload = payload;
+      last_token_dst = to;
+    }
+    switch (type) {
+      case CtrlMsg::kToken: ++result.token_messages; break;
+      case CtrlMsg::kLocationRequest:
+      case CtrlMsg::kLocationResponse: ++result.location_messages; break;
+      case CtrlMsg::kCapacityRequest:
+      case CtrlMsg::kCapacityResponse: ++result.capacity_messages; break;
+    }
+    result.control_bytes += payload.size();
+    net->send(sim::Message{from, to, static_cast<int>(type), std::move(payload)});
+  }
+
+  /// Called by the holding agent when its token hold finished (decision made,
+  /// migration applied if any). Returns false when the run is over and the
+  /// token must not be forwarded.
+  bool hold_complete(bool migrated) {
+    ++total_holds;
+    ++iter_holds;
+    if (migrated) {
+      ++iter_migrations;
+      ++result.total_migrations;
+    }
+    if (iter_holds == tm->num_vms()) {
+      RuntimeIteration it;
+      it.holds = iter_holds;
+      it.migrations = iter_migrations;
+      it.migrated_ratio =
+          static_cast<double>(iter_migrations) / static_cast<double>(iter_holds);
+      it.cost_at_end = model->total_cost(*alloc, *tm);
+      result.iterations.push_back(it);
+      const bool stable = cfg.stop_when_stable && iter_migrations == 0;
+      iter_holds = 0;
+      iter_migrations = 0;
+      if (result.iterations.size() >= cfg.iterations || stable) {
+        stopped = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void watchdog_tick() {
+    if (stopped) return;
+    if (total_holds == holds_at_last_check && !last_token_payload.empty()) {
+      // No hold completed since the last tick: the token (or a probe it was
+      // waiting on) was lost. Re-inject the last snapshot; the receiving
+      // agent restarts its decision idempotently.
+      ++result.token_reinjections;
+      send(CtrlMsg::kToken, last_token_dst, last_token_dst, last_token_payload);
+    }
+    holds_at_last_check = total_holds;
+    queue.schedule_in(cfg.watchdog_interval_s, [this] { watchdog_tick(); });
+  }
+
+  RuntimeResult run() {
+    result.initial_cost = model->total_cost(*alloc, *tm);
+    if (cfg.message_loss_rate > 0.0) {
+      net->set_loss(cfg.message_loss_rate, cfg.loss_seed);
+      queue.schedule_in(cfg.watchdog_interval_s, [this] { watchdog_tick(); });
+    }
+    // The placement manager injects the token at the lowest-id VM with all
+    // levels initialised to zero (§V-A).
+    std::vector<WireEntry> entries(tm->num_vms());
+    for (core::VmId id = 0; id < tm->num_vms(); ++id) {
+      entries[id].vm = vm_addr(id);
+    }
+    const Ipv4 first = vm_addr(0);
+    const topo::HostId first_host = ipam.vm_host(first);
+    send(CtrlMsg::kToken, first_host, first_host, encode_token(first, entries));
+    queue.run();
+    result.final_cost = model->total_cost(*alloc, *tm);
+    result.duration_s = queue.now();
+    result.messages_lost = net->messages_lost();
+    return result;
+  }
+};
+
+// ---- agent implementation ----------------------------------------------------
+
+void DistributedScoreRuntime::Impl::Agent::on_message(const sim::Message& msg) {
+  switch (static_cast<CtrlMsg>(msg.type)) {
+    case CtrlMsg::kToken: {
+      on_token(msg);
+      return;
+    }
+    case CtrlMsg::kLocationRequest: {
+      // A peer's dom0 asks where we are: answer with subject VM + our address
+      // (the NAT redirect delivers the probe to dom0, which replies, §V-B.4).
+      std::vector<std::uint8_t> payload;
+      put_u32(payload, get_u32(msg.payload, 0));            // subject VM
+      put_u32(payload, rt->ipam.host_address(host));        // our dom0 addr
+      put_u32(payload, get_u32(msg.payload, 4));            // echo nonce
+      rt->send(CtrlMsg::kLocationResponse, host, msg.src, std::move(payload));
+      return;
+    }
+    case CtrlMsg::kLocationResponse: {
+      if (!pending || pending->awaiting_locations == 0) return;
+      if (get_u32(msg.payload, 8) != pending->nonce) return;  // stale attempt
+      const Ipv4 subject = get_u32(msg.payload, 0);
+      const Ipv4 dom0 = get_u32(msg.payload, 4);
+      if (pending->peer_dom0.count(subject)) return;  // duplicate
+      pending->peer_dom0[subject] = dom0;
+      if (--pending->awaiting_locations == 0) on_locations_complete();
+      return;
+    }
+    case CtrlMsg::kCapacityRequest: {
+      // Report residual capacity (free slots + available RAM, extended with
+      // CPU and NIC bandwidth, §V-B.5) for our server.
+      std::vector<std::uint8_t> payload;
+      put_u32(payload, get_u32(msg.payload, 0));      // echo nonce
+      put_u32(payload, rt->ipam.host_address(host));  // echo: who is answering
+      put_u32(payload, static_cast<std::uint32_t>(rt->alloc->free_slots(host)));
+      put_u32(payload, static_cast<std::uint32_t>(rt->alloc->free_ram_mb(host)));
+      const double free_cpu = rt->alloc->capacity(host).cpu_cores -
+                              rt->alloc->used_cpu(host);
+      put_u32(payload, static_cast<std::uint32_t>(free_cpu * 1000.0));
+      const double free_net = rt->alloc->capacity(host).net_bps -
+                              rt->alloc->used_net_bps(host);
+      put_u32(payload, static_cast<std::uint32_t>(free_net / 1000.0));  // kbps
+      rt->send(CtrlMsg::kCapacityResponse, host, msg.src, std::move(payload));
+      return;
+    }
+    case CtrlMsg::kCapacityResponse: {
+      if (!pending || pending->awaiting_capacities == 0) return;
+      if (get_u32(msg.payload, 0) != pending->nonce) return;  // stale attempt
+      const Ipv4 who = get_u32(msg.payload, 4);
+      if (pending->capacities.count(who)) return;  // duplicate
+      CapInfo info;
+      info.free_slots = get_u32(msg.payload, 8);
+      info.free_ram_mb = get_u32(msg.payload, 12);
+      info.free_cpu = get_u32(msg.payload, 16) / 1000.0;
+      info.free_net_bps = get_u32(msg.payload, 20) * 1000.0;
+      info.received = true;
+      pending->capacities[who] = info;
+      if (--pending->awaiting_capacities == 0) on_capacities_complete();
+      return;
+    }
+  }
+}
+
+void DistributedScoreRuntime::Impl::Agent::on_token(const sim::Message& msg) {
+  if (rt->stopped) return;
+  auto [holder, entries] = decode_token(msg.payload);
+
+  PendingDecision p;
+  p.vm = holder;
+  p.nonce = next_nonce++;
+  p.entries = std::move(entries);
+
+  // §V-B.1/3: poll the datapath into the flow table, then aggregate the
+  // per-peer throughput over the measurement window. Ground-truth byte
+  // counters come from the TM (the simulated Open vSwitch).
+  const core::VmId u = rt->vm_id(holder);
+  const double now = rt->queue.now();
+  const double window = rt->cfg.measurement_window_s;
+  for (const auto& [peer, rate] : rt->tm->neighbors(u)) {
+    FlowKey key;
+    key.src_ip = holder;
+    key.dst_ip = rt->vm_addr(peer);
+    key.src_port = static_cast<std::uint16_t>(peer & 0xFFFF);
+    key.dst_port = 443;
+    const auto bytes = static_cast<std::uint64_t>(rate * window / 8.0);
+    flows.update(key, 0, 0, now - window);  // window start marker
+    flows.update(key, bytes, bytes / 1500 + 1, now);
+  }
+  for (const auto& [peer_ip, rate_Bps] : flows.peer_rates_Bps(holder, now)) {
+    p.peer_rates.emplace_back(peer_ip, rate_Bps * 8.0);  // back to TM units
+  }
+  // Flows persist "until a migration decision is made for a VM" (§V-B.1).
+  flows.clear_ip(holder);
+
+  pending = std::move(p);
+  if (pending->peer_rates.empty()) {
+    finish_hold(false);
+    return;
+  }
+
+  // §V-B.4: probe every communicating VM for its dom0 location.
+  pending->awaiting_locations = pending->peer_rates.size();
+  for (const auto& [peer_ip, rate] : pending->peer_rates) {
+    (void)rate;
+    std::vector<std::uint8_t> payload;
+    put_u32(payload, peer_ip);
+    put_u32(payload, pending->nonce);
+    // The fabric routes the probe to the peer VM's current host.
+    rt->send(CtrlMsg::kLocationRequest, host, rt->ipam.vm_host(peer_ip),
+             std::move(payload));
+  }
+}
+
+void DistributedScoreRuntime::Impl::Agent::on_locations_complete() {
+  PendingDecision& p = *pending;
+  const Ipv4 own_dom0 = rt->ipam.host_address(host);
+
+  // Update the token's communication-level entries (Algorithm 1 lines 1-5):
+  // own entry exactly, peers' entries raised only.
+  int own_level = 0;
+  std::vector<std::tuple<int, double, Ipv4>> ranked;  // (level, rate, dom0)
+  for (const auto& [peer_ip, rate] : p.peer_rates) {
+    const Ipv4 peer_dom0 = p.peer_dom0.at(peer_ip);
+    const int level = rt->ipam.level_between(own_dom0, peer_dom0);
+    own_level = std::max(own_level, level);
+    auto& entry = p.entries[index_of(p.entries, peer_ip)];
+    entry.level = std::max<std::uint8_t>(entry.level,
+                                         static_cast<std::uint8_t>(level));
+    if (level > 0) ranked.emplace_back(level, rate, peer_dom0);
+  }
+  p.entries[index_of(p.entries, p.vm)].level =
+      static_cast<std::uint8_t>(own_level);
+
+  // §V-B.5: candidate hypervisors ranked from the highest communication
+  // level (heaviest traffic first within a level), plus rack siblings as
+  // fallbacks — mirroring MigrationEngine::candidate_servers.
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) > std::get<0>(b);
+    return std::get<1>(a) > std::get<1>(b);
+  });
+  const auto& topo = rt->model->topology();
+  const std::size_t hosts_per_rack = topo.num_hosts() / topo.num_racks();
+  auto push_unique = [&p, this](Ipv4 dom0) {
+    if (p.candidates.size() >= rt->cfg.engine.max_candidates) return;
+    if (dom0 == rt->ipam.host_address(host)) return;
+    if (std::find(p.candidates.begin(), p.candidates.end(), dom0) ==
+        p.candidates.end()) {
+      p.candidates.push_back(dom0);
+    }
+  };
+  for (const auto& [level, rate, dom0] : ranked) {
+    (void)level;
+    (void)rate;
+    push_unique(dom0);
+    if (rt->cfg.engine.probe_rack_siblings) {
+      const auto rack = static_cast<std::size_t>(rt->ipam.rack_of_address(dom0));
+      for (std::size_t i = 0; i < hosts_per_rack; ++i) {
+        push_unique(rt->ipam.host_address(
+            static_cast<topo::HostId>(rack * hosts_per_rack + i)));
+      }
+    }
+    if (p.candidates.size() >= rt->cfg.engine.max_candidates) break;
+  }
+
+  if (p.candidates.empty()) {
+    finish_hold(false);
+    return;
+  }
+  p.awaiting_capacities = p.candidates.size();
+  for (Ipv4 dom0 : p.candidates) {
+    std::vector<std::uint8_t> payload;
+    put_u32(payload, p.nonce);
+    rt->send(CtrlMsg::kCapacityRequest, host, rt->ipam.host_of_address(dom0),
+             std::move(payload));
+  }
+}
+
+void DistributedScoreRuntime::Impl::Agent::on_capacities_complete() {
+  PendingDecision& p = *pending;
+  const core::VmId u = rt->vm_id(p.vm);
+  const core::VmSpec& spec = rt->alloc->spec(u);
+  const Ipv4 own_dom0 = rt->ipam.host_address(host);
+  const auto& weights = rt->model->weights();
+
+  Ipv4 best_dom0 = 0;
+  double best_delta = 0.0;
+  bool have_best = false;
+  for (Ipv4 cand : p.candidates) {
+    const CapInfo& cap = p.capacities.at(cand);
+    if (cap.free_slots == 0 || cap.free_ram_mb < spec.ram_mb ||
+        cap.free_cpu < spec.cpu_cores ||
+        cap.free_net_bps <
+            spec.net_bps + rt->cfg.engine.bandwidth_headroom_bps) {
+      continue;
+    }
+    // Lemma 3, from purely local data: measured λ, probed peer locations.
+    double delta = 0.0;
+    for (const auto& [peer_ip, rate] : p.peer_rates) {
+      const Ipv4 peer_dom0 = p.peer_dom0.at(peer_ip);
+      delta += 2.0 * rate *
+               (weights.prefix(rt->ipam.level_between(peer_dom0, own_dom0)) -
+                weights.prefix(rt->ipam.level_between(peer_dom0, cand)));
+    }
+    if (!have_best || delta > best_delta) {
+      best_dom0 = cand;
+      best_delta = delta;
+      have_best = true;
+    }
+  }
+
+  // Theorem 1.
+  if (have_best && best_delta > rt->cfg.engine.migration_cost) {
+    const topo::HostId target = rt->ipam.host_of_address(best_dom0);
+    rt->alloc->migrate(u, target);
+    rt->ipam.move_vm(p.vm, target);
+    finish_hold(true);
+  } else {
+    finish_hold(false);
+  }
+}
+
+void DistributedScoreRuntime::Impl::Agent::finish_hold(bool migrated) {
+  PendingDecision& p = *pending;
+  double busy = rt->cfg.decision_time_s;
+  if (migrated) {
+    const core::VmSpec& spec = rt->alloc->spec(rt->vm_id(p.vm));
+    busy += spec.ram_mb * 1e6 * rt->cfg.precopy_factor * 8.0 /
+                rt->cfg.migration_bandwidth_bps +
+            rt->cfg.migration_overhead_s;
+  }
+
+  if (!rt->hold_complete(migrated)) {
+    pending.reset();
+    return;
+  }
+
+  const Ipv4 next = rt->use_hlf ? next_highest_level_first(p.entries, p.vm)
+                                : next_round_robin(p.entries, p.vm);
+  auto payload = encode_token(next, p.entries);
+  const topo::HostId next_host = rt->ipam.vm_host(next);
+  // The token leaves after the dom0 work (and any migration) completes.
+  auto* impl = rt;
+  const topo::HostId from = host;
+  rt->queue.schedule_in(busy, [impl, from, next_host,
+                               buf = std::move(payload)]() mutable {
+    impl->send(CtrlMsg::kToken, from, next_host, std::move(buf));
+  });
+  pending.reset();
+}
+
+// ---- public wrapper ----------------------------------------------------------
+
+DistributedScoreRuntime::DistributedScoreRuntime(const core::CostModel& model,
+                                                 core::Allocation& alloc,
+                                                 const traffic::TrafficMatrix& tm,
+                                                 RuntimeConfig config)
+    : impl_(std::make_unique<Impl>(model, alloc, tm, std::move(config))) {}
+
+DistributedScoreRuntime::~DistributedScoreRuntime() = default;
+
+RuntimeResult DistributedScoreRuntime::run() { return impl_->run(); }
+
+}  // namespace score::hypervisor

@@ -1,0 +1,122 @@
+// Distributed S-CORE control plane — the paper's §V implementation, run as
+// message-passing dom0 agents over the simulated fabric.
+//
+// Each host runs a Dom0Agent ("a token listening server runs on a known port
+// in dom0 of each hypervisor"). When the token arrives for a hosted VM, the
+// agent — acting on the VM's behalf, since virtualization is transparent —
+// executes the full §V-B pipeline using only locally obtainable information:
+//
+//   1. polls the datapath into its flow table and computes the aggregate
+//      per-peer traffic load of the token VM (§V-B.1/3),
+//   2. probes each communicating VM with a *location request*; the peer's
+//      dom0 answers with its own address, from which the static rack-subnet
+//      scheme (Ipam) yields the communication level (§V-B.4),
+//   3. sends *capacity requests* to candidate hypervisors, ranked from the
+//      highest communication level downwards; they answer with free VM slots
+//      and available RAM/CPU/bandwidth (§V-B.5),
+//   4. applies Theorem 1 (delta > c_m) and, when satisfied, live-migrates the
+//      VM and updates the token's communication-level entries,
+//   5. forwards the token to the next VM per the Round-Robin or
+//      Highest-Level-First policy, computed purely from token state.
+//
+// The runtime owns ground truth (allocation, traffic matrix) only to play the
+// roles of the physical world: the datapath byte counters, the fabric
+// (message delivery + migration transfer time), and the placement manager's
+// VM directory. Every *decision* input travels through messages; a test
+// verifies the agent never reads non-local state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/migration_engine.hpp"
+#include "hypervisor/flow_table.hpp"
+#include "hypervisor/ipam.hpp"
+#include "sim/network.hpp"
+#include "traffic/traffic_matrix.hpp"
+
+namespace score::hypervisor {
+
+/// Control-plane message types (sim::Message::type).
+enum class CtrlMsg : int {
+  kToken = 1,
+  kLocationRequest = 2,
+  kLocationResponse = 3,
+  kCapacityRequest = 4,
+  kCapacityResponse = 5,
+};
+
+struct RuntimeConfig {
+  std::string policy = "round-robin";  ///< "round-robin" or "highest-level-first"
+  core::EngineConfig engine;           ///< c_m, candidate cap, bandwidth headroom
+  std::size_t iterations = 5;
+  bool stop_when_stable = true;
+  double measurement_window_s = 60.0;  ///< flow-statistics averaging window
+  double decision_time_s = 0.01;       ///< dom0 processing per token hold
+  double migration_bandwidth_bps = 1e9;
+  double precopy_factor = 1.3;
+  double migration_overhead_s = 0.1;
+
+  /// Fault injection: independent drop probability for every control message
+  /// (token, probes, responses). A lost probe stalls the holder's decision
+  /// and a lost token stalls the whole loop — recovery comes from the
+  /// placement manager's watchdog below.
+  double message_loss_rate = 0.0;
+  std::uint64_t loss_seed = 9;
+  /// The placement manager re-injects its last token snapshot when no hold
+  /// completes for this long (it already owns VM-id allocation, §V-A, so
+  /// token custody is a natural extension). Must exceed the longest legal
+  /// hold (decision + probes + one migration transfer).
+  double watchdog_interval_s = 5.0;
+};
+
+struct RuntimeIteration {
+  std::size_t holds = 0;
+  std::size_t migrations = 0;
+  double migrated_ratio = 0.0;
+  double cost_at_end = 0.0;
+};
+
+struct RuntimeResult {
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+  std::size_t total_migrations = 0;
+  double duration_s = 0.0;
+  std::vector<RuntimeIteration> iterations;
+
+  // Control-plane footprint (the overhead the paper argues is small).
+  std::uint64_t token_messages = 0;
+  std::uint64_t location_messages = 0;  ///< requests + responses
+  std::uint64_t capacity_messages = 0;  ///< requests + responses
+  std::uint64_t control_bytes = 0;
+  std::uint64_t messages_lost = 0;       ///< dropped by fault injection
+  std::uint64_t token_reinjections = 0;  ///< watchdog recoveries
+
+  double reduction() const {
+    return initial_cost > 0.0 ? 1.0 - final_cost / initial_cost : 0.0;
+  }
+};
+
+class DistributedScoreRuntime {
+ public:
+  /// `alloc` is mutated as agents migrate VMs; `tm` provides the ground-truth
+  /// byte counters the simulated datapath reports.
+  DistributedScoreRuntime(const core::CostModel& model, core::Allocation& alloc,
+                          const traffic::TrafficMatrix& tm,
+                          RuntimeConfig config = {});
+  ~DistributedScoreRuntime();
+
+  DistributedScoreRuntime(const DistributedScoreRuntime&) = delete;
+  DistributedScoreRuntime& operator=(const DistributedScoreRuntime&) = delete;
+
+  RuntimeResult run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace score::hypervisor

@@ -1,0 +1,101 @@
+#include "hypervisor/flow_table.hpp"
+
+#include <algorithm>
+
+namespace score::hypervisor {
+
+void FlowTable::index_add(IpAddr ip, const FlowKey& key) {
+  by_ip_[ip].insert(key);
+}
+
+void FlowTable::index_remove(IpAddr ip, const FlowKey& key) {
+  auto it = by_ip_.find(ip);
+  if (it == by_ip_.end()) return;
+  it->second.erase(key);
+  if (it->second.empty()) by_ip_.erase(it);
+}
+
+void FlowTable::update(const FlowKey& key, std::uint64_t bytes,
+                       std::uint64_t packets, double now_s) {
+  auto [it, inserted] = flows_.try_emplace(key);
+  FlowRecord& rec = it->second;
+  if (inserted) {
+    rec.first_seen_s = now_s;
+    index_add(key.src_ip, key);
+    if (key.dst_ip != key.src_ip) index_add(key.dst_ip, key);
+  }
+  rec.bytes += bytes;
+  rec.packets += packets;
+  rec.last_seen_s = now_s;
+}
+
+const FlowRecord* FlowTable::lookup(const FlowKey& key) const {
+  auto it = flows_.find(key);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+bool FlowTable::remove(const FlowKey& key) {
+  auto it = flows_.find(key);
+  if (it == flows_.end()) return false;
+  index_remove(key.src_ip, key);
+  if (key.dst_ip != key.src_ip) index_remove(key.dst_ip, key);
+  flows_.erase(it);
+  return true;
+}
+
+std::vector<FlowKey> FlowTable::flows_for_ip(IpAddr ip) const {
+  auto it = by_ip_.find(ip);
+  if (it == by_ip_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::uint64_t FlowTable::bytes_between(IpAddr a, IpAddr b) const {
+  std::uint64_t total = 0;
+  for (const FlowKey& key : flows_for_ip(a)) {
+    if ((key.src_ip == a && key.dst_ip == b) ||
+        (key.src_ip == b && key.dst_ip == a)) {
+      total += flows_.at(key).bytes;
+    }
+  }
+  return total;
+}
+
+double FlowTable::aggregate_rate_Bps(IpAddr a, IpAddr b, double now_s) const {
+  double rate = 0.0;
+  for (const FlowKey& key : flows_for_ip(a)) {
+    if ((key.src_ip == a && key.dst_ip == b) ||
+        (key.src_ip == b && key.dst_ip == a)) {
+      const FlowRecord& rec = flows_.at(key);
+      const double dur = now_s - rec.first_seen_s;
+      if (dur > 0.0) rate += static_cast<double>(rec.bytes) / dur;
+    }
+  }
+  return rate;
+}
+
+std::vector<std::pair<IpAddr, double>> FlowTable::peer_rates_Bps(
+    IpAddr ip, double now_s) const {
+  std::unordered_map<IpAddr, double> acc;
+  for (const FlowKey& key : flows_for_ip(ip)) {
+    const IpAddr peer = key.src_ip == ip ? key.dst_ip : key.src_ip;
+    const FlowRecord& rec = flows_.at(key);
+    const double dur = now_s - rec.first_seen_s;
+    if (dur > 0.0) acc[peer] += static_cast<double>(rec.bytes) / dur;
+  }
+  std::vector<std::pair<IpAddr, double>> out(acc.begin(), acc.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t FlowTable::clear_ip(IpAddr ip) {
+  const std::vector<FlowKey> keys = flows_for_ip(ip);
+  for (const FlowKey& key : keys) remove(key);
+  return keys.size();
+}
+
+void FlowTable::clear() {
+  flows_.clear();
+  by_ip_.clear();
+}
+
+}  // namespace score::hypervisor

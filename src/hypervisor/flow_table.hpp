@@ -1,0 +1,112 @@
+// Hypervisor-resident flow table — paper §V-B.1.
+//
+// The Xen implementation polls Open vSwitch datapath statistics into a
+// per-dom0 flow table supporting: fast addition of new flows, updating
+// existing flows, retrieval of a subset of flows by IP address, access to
+// per-flow byte counts, and flow duration for throughput calculation. Flows
+// persist from first sight until a migration decision clears them.
+//
+// Fig. 5a stress-tests exactly this structure with two flow populations:
+//   Type 1 — 1M flows, every source IP unique (per-IP index: 1M tiny buckets)
+//   Type 2 — 1M flows in groups of 1000 sharing a source IP (1k big buckets)
+//
+// The table keeps a primary hash map keyed by 5-tuple plus a secondary
+// per-endpoint-IP index so `flows_for_ip` does not scan the table.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace score::hypervisor {
+
+using IpAddr = std::uint32_t;
+
+struct FlowKey {
+  IpAddr src_ip = 0;
+  IpAddr dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 6;  // TCP
+
+  bool operator==(const FlowKey&) const = default;
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const {
+    // FNV-1a over the packed tuple; cheap and well-distributed for IPs/ports.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(k.src_ip);
+    mix(k.dst_ip);
+    mix((static_cast<std::uint64_t>(k.src_port) << 16) | k.dst_port);
+    mix(k.proto);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct FlowRecord {
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+  double first_seen_s = 0.0;
+  double last_seen_s = 0.0;
+
+  /// Average throughput in bytes/s since the flow started (0 if instantaneous).
+  double throughput_Bps() const {
+    const double dur = last_seen_s - first_seen_s;
+    return dur > 0.0 ? static_cast<double>(bytes) / dur : 0.0;
+  }
+};
+
+class FlowTable {
+ public:
+  /// Add a new flow or fold counters into an existing one.
+  void update(const FlowKey& key, std::uint64_t bytes, std::uint64_t packets,
+              double now_s);
+
+  /// nullptr when absent. Pointer invalidated by mutations.
+  const FlowRecord* lookup(const FlowKey& key) const;
+
+  /// Remove one flow; returns true when it existed.
+  bool remove(const FlowKey& key);
+
+  /// All flows with `ip` as source or destination endpoint.
+  std::vector<FlowKey> flows_for_ip(IpAddr ip) const;
+
+  /// Total bytes between two endpoints (both directions).
+  std::uint64_t bytes_between(IpAddr a, IpAddr b) const;
+
+  /// Aggregate rate λ (bytes/s, both directions) between two endpoints over
+  /// the measurement window implied by each flow's first_seen (§V-B.3).
+  double aggregate_rate_Bps(IpAddr a, IpAddr b, double now_s) const;
+
+  /// Per-peer aggregate rates for all peers of `ip` — the traffic-load vector
+  /// the migration decision consumes.
+  std::vector<std::pair<IpAddr, double>> peer_rates_Bps(IpAddr ip,
+                                                        double now_s) const;
+
+  /// Drop all flows touching `ip` (done after a migration decision clears
+  /// the VM's statistics). Returns the number removed.
+  std::size_t clear_ip(IpAddr ip);
+
+  void clear();
+  std::size_t size() const { return flows_.size(); }
+  bool empty() const { return flows_.empty(); }
+
+ private:
+  void index_add(IpAddr ip, const FlowKey& key);
+  void index_remove(IpAddr ip, const FlowKey& key);
+
+  std::unordered_map<FlowKey, FlowRecord, FlowKeyHash> flows_;
+  /// Endpoint IP -> keys of flows touching it (both src and dst indexed).
+  /// A hash set keeps removal O(1) even for hub IPs with millions of flows
+  /// (e.g. a shared sink — exactly the Fig. 5a Type-1/Type-2 populations).
+  std::unordered_map<IpAddr, std::unordered_set<FlowKey, FlowKeyHash>> by_ip_;
+};
+
+}  // namespace score::hypervisor

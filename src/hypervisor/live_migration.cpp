@@ -1,0 +1,59 @@
+#include "hypervisor/live_migration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace score::hypervisor {
+
+PreCopyMigrationModel::PreCopyMigrationModel(const MigrationModelConfig& config)
+    : config_(config) {
+  if (config_.vm_ram_mb <= 0.0 || config_.link_bps <= 0.0 ||
+      config_.efficiency <= 0.0 || config_.max_rounds < 1) {
+    throw std::invalid_argument("PreCopyMigrationModel: bad configuration");
+  }
+}
+
+double PreCopyMigrationModel::effective_bandwidth_MBps(double background_load) const {
+  const double b = std::clamp(background_load, 0.0, 1.0);
+  const double base_MBps = config_.link_bps * config_.efficiency / 8.0 / 1e6;
+  return base_MBps /
+         (1.0 + config_.slowdown_linear * b + config_.slowdown_sqrt * std::sqrt(b));
+}
+
+MigrationOutcome PreCopyMigrationModel::simulate(util::Rng& rng,
+                                                 double background_load) const {
+  const double bw = effective_bandwidth_MBps(background_load);
+
+  // Resident working set actually transferred in the first round; free pages
+  // are skipped, so this is below the nominal RAM size.
+  double working_set =
+      rng.normal(config_.working_set_mean_mb, config_.working_set_std_mb);
+  working_set = std::clamp(working_set, 1.0, config_.vm_ram_mb);
+
+  const double dirty_rate =
+      rng.uniform(config_.dirty_rate_min_mbps, config_.dirty_rate_max_mbps);
+
+  MigrationOutcome out;
+  double to_send = working_set;
+  for (int round = 0; round < config_.max_rounds; ++round) {
+    ++out.precopy_rounds;
+    const double duration = to_send / bw;
+    out.migrated_mb += to_send;
+    out.total_time_s += duration;
+    // Pages dirtied while this round streamed; bounded by the writable
+    // working set (a page dirtied twice is only re-sent once).
+    to_send = std::min(dirty_rate * duration, working_set);
+    if (to_send < config_.stop_copy_threshold_mb) break;
+  }
+
+  // Stop-and-copy: suspend, send residue + CPU/device state, resume.
+  const double stop_copy_mb = to_send + config_.cpu_state_mb;
+  const double stop_copy_s = stop_copy_mb / bw;
+  out.migrated_mb += stop_copy_mb;
+  out.downtime_ms = stop_copy_s * 1e3 + config_.suspend_overhead_ms;
+  out.total_time_s += stop_copy_s + config_.suspend_overhead_ms / 1e3;
+  return out;
+}
+
+}  // namespace score::hypervisor

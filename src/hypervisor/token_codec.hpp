@@ -1,0 +1,38 @@
+// Token wire format — paper §V-A / §V-B.2.
+//
+// The token is "a message formed as an array of entries", each entry a 32-bit
+// VM id (the VM's IPv4 address on Xen, "capable of representing over 4
+// billion IDs before recycling") and, for the HLF policy, an 8-bit highest
+// communication level. Entries are stored in ascending order by VM id and the
+// token is transmitted as a packed block of unsigned integers.
+//
+// encode/decode implement both layouts (RR: 4 bytes/entry; HLF: 5 bytes/
+// entry), little-endian, with strict validation on decode: truncated buffers
+// and out-of-order ids are rejected.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace score::hypervisor {
+
+struct TokenEntry {
+  std::uint32_t vm_id = 0;
+  std::uint8_t level = 0;
+
+  bool operator==(const TokenEntry&) const = default;
+};
+
+/// RR token: ids only. Ids must be strictly ascending.
+std::vector<std::uint8_t> encode_rr_token(const std::vector<std::uint32_t>& ids);
+std::vector<std::uint32_t> decode_rr_token(const std::vector<std::uint8_t>& buf);
+
+/// HLF token: (id, level) pairs. Ids must be strictly ascending.
+std::vector<std::uint8_t> encode_hlf_token(const std::vector<TokenEntry>& entries);
+std::vector<TokenEntry> decode_hlf_token(const std::vector<std::uint8_t>& buf);
+
+/// Wire size in bytes for |V| VMs (token size is O(|V|), paper §V-A).
+constexpr std::size_t rr_token_bytes(std::size_t num_vms) { return 4 * num_vms; }
+constexpr std::size_t hlf_token_bytes(std::size_t num_vms) { return 5 * num_vms; }
+
+}  // namespace score::hypervisor

@@ -1,0 +1,34 @@
+#include "sim/event_queue.hpp"
+
+#include <limits>
+
+namespace score::sim {
+
+void EventQueue::schedule_at(double when, EventFn fn) {
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue::schedule_at: time in the past");
+  }
+  heap_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast on the handle is
+  // UB-prone, so copy the function object instead (events are cheap).
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.when;
+  e.fn();
+  return true;
+}
+
+void EventQueue::run_until(double until) {
+  while (!heap_.empty() && heap_.top().when <= until) {
+    step();
+  }
+  if (until != std::numeric_limits<double>::infinity() && now_ < until) {
+    now_ = until;
+  }
+}
+
+}  // namespace score::sim

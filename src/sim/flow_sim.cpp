@@ -1,0 +1,132 @@
+#include "sim/flow_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace score::sim {
+
+namespace {
+
+struct FillState {
+  std::vector<std::vector<std::size_t>> link_flows;  ///< per link: flow ids
+  std::vector<double> residual;                      ///< per link: free capacity
+  std::vector<std::size_t> unfrozen_on_link;         ///< per link
+};
+
+}  // namespace
+
+std::vector<double> FlowLevelSimulator::fair_rates(
+    const std::vector<FlowSpec>& flows) const {
+  const auto& links = topo_->links();
+  std::vector<double> rates(flows.size(), 0.0);
+
+  FillState st;
+  st.link_flows.resize(links.size());
+  st.residual.resize(links.size());
+  st.unfrozen_on_link.assign(links.size(), 0);
+  for (std::size_t l = 0; l < links.size(); ++l) {
+    st.residual[l] = links[l].capacity_bps;
+  }
+
+  std::vector<std::vector<topo::LinkId>> paths(flows.size());
+  std::vector<bool> frozen(flows.size(), false);
+  std::size_t remaining = 0;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    paths[f] = topo_->route(flows[f].src, flows[f].dst, flows[f].ecmp_hash);
+    if (paths[f].empty()) {
+      rates[f] = local_rate_bps_;  // same-host: vhost switching, not a link
+      frozen[f] = true;
+      continue;
+    }
+    for (topo::LinkId l : paths[f]) {
+      st.link_flows[l].push_back(f);
+      ++st.unfrozen_on_link[l];
+    }
+    ++remaining;
+  }
+
+  // Progressive filling: repeatedly saturate the most constrained link.
+  while (remaining > 0) {
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_link = links.size();
+    for (std::size_t l = 0; l < links.size(); ++l) {
+      if (st.unfrozen_on_link[l] == 0) continue;
+      const double share =
+          st.residual[l] / static_cast<double>(st.unfrozen_on_link[l]);
+      if (share < best_share) {
+        best_share = share;
+        best_link = l;
+      }
+    }
+    if (best_link == links.size()) break;  // defensive; cannot happen
+
+    // Freeze every unfrozen flow crossing the bottleneck at the fair share.
+    for (std::size_t f : st.link_flows[best_link]) {
+      if (frozen[f]) continue;
+      frozen[f] = true;
+      rates[f] = best_share;
+      --remaining;
+      for (topo::LinkId l : paths[f]) {
+        st.residual[l] -= best_share;
+        --st.unfrozen_on_link[l];
+      }
+    }
+    // Numerical hygiene: the bottleneck's residual is now ~0.
+    st.residual[best_link] = std::max(st.residual[best_link], 0.0);
+  }
+  return rates;
+}
+
+std::vector<FlowOutcome> FlowLevelSimulator::run(
+    const std::vector<FlowSpec>& flows) const {
+  for (const FlowSpec& f : flows) {
+    if (f.size_bytes <= 0.0) {
+      throw std::invalid_argument("FlowLevelSimulator::run: flow size must be > 0");
+    }
+  }
+  std::vector<FlowOutcome> out(flows.size());
+  std::vector<double> remaining_bytes(flows.size());
+  std::vector<bool> done(flows.size(), false);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    remaining_bytes[f] = flows[f].size_bytes;
+  }
+
+  double now = 0.0;
+  std::size_t active = flows.size();
+  while (active > 0) {
+    // Rates for the currently active subset (finished flows free capacity).
+    std::vector<FlowSpec> subset;
+    std::vector<std::size_t> ids;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (!done[f]) {
+        subset.push_back(flows[f]);
+        ids.push_back(f);
+      }
+    }
+    const std::vector<double> rates = fair_rates(subset);
+
+    // Advance to the earliest completion.
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (rates[i] <= 0.0) {
+        throw std::runtime_error("FlowLevelSimulator: starved flow (zero rate)");
+      }
+      dt = std::min(dt, remaining_bytes[ids[i]] * 8.0 / rates[i]);
+    }
+    now += dt;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const std::size_t f = ids[i];
+      remaining_bytes[f] -= rates[i] * dt / 8.0;
+      if (remaining_bytes[f] <= 1e-6) {
+        done[f] = true;
+        --active;
+        out[f].finish_s = now;
+        out[f].mean_rate_bps = flows[f].size_bytes * 8.0 / now;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace score::sim

@@ -1,0 +1,25 @@
+#include "sim/network.hpp"
+
+namespace score::sim {
+
+void Network::send(Message msg) {
+  ++sent_;
+  bytes_ += msg.payload.size();
+  if (loss_rate_ > 0.0 && loss_rng_.chance(loss_rate_)) {
+    ++lost_;
+    return;
+  }
+  const int hops = topo_->hop_count(msg.src, msg.dst);
+  const double latency =
+      hops == 0 ? loopback_latency_s_ : per_hop_latency_s_ * hops;
+  queue_->schedule_in(latency, [this, m = std::move(msg)]() {
+    const Handler& handler = handlers_[m.dst];
+    if (handler) {
+      handler(m);
+    } else {
+      ++dropped_;
+    }
+  });
+}
+
+}  // namespace score::sim

@@ -1,0 +1,73 @@
+#include "topology/canonical_tree.hpp"
+
+namespace score::topo {
+
+namespace {
+// Node-id namespaces for Link::node_* (purely informational).
+constexpr std::uint32_t kTorBase = 1'000'000;
+constexpr std::uint32_t kAggBase = 2'000'000;
+constexpr std::uint32_t kCoreBase = 3'000'000;
+}  // namespace
+
+CanonicalTree::CanonicalTree(const CanonicalTreeConfig& config) : config_(config) {
+  if (config_.racks == 0 || config_.hosts_per_rack == 0 || config_.racks_per_pod == 0 ||
+      config_.cores == 0) {
+    throw std::invalid_argument("CanonicalTree: all dimensions must be positive");
+  }
+  num_aggs_ = (config_.racks + config_.racks_per_pod - 1) / config_.racks_per_pod;
+  num_pods_ = num_aggs_;
+
+  const std::size_t hosts = config_.racks * config_.hosts_per_rack;
+  host_rack_.resize(hosts);
+  rack_pod_.resize(config_.racks);
+
+  for (std::size_t r = 0; r < config_.racks; ++r) {
+    rack_pod_[r] = static_cast<int>(r / config_.racks_per_pod);
+  }
+  for (std::size_t h = 0; h < hosts; ++h) {
+    host_rack_[h] = static_cast<int>(h / config_.hosts_per_rack);
+  }
+
+  host_uplink_.resize(hosts);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    host_uplink_[h] = add_link(1, static_cast<std::uint32_t>(h),
+                               kTorBase + static_cast<std::uint32_t>(host_rack_[h]),
+                               config_.host_link_bps);
+  }
+  tor_uplink_.resize(config_.racks);
+  for (std::size_t r = 0; r < config_.racks; ++r) {
+    tor_uplink_[r] = add_link(2, kTorBase + static_cast<std::uint32_t>(r),
+                              kAggBase + static_cast<std::uint32_t>(rack_pod_[r]),
+                              config_.tor_agg_bps);
+  }
+  agg_core_link_.resize(num_aggs_ * config_.cores);
+  for (std::size_t a = 0; a < num_aggs_; ++a) {
+    for (std::size_t c = 0; c < config_.cores; ++c) {
+      agg_core_link_[a * config_.cores + c] =
+          add_link(3, kAggBase + static_cast<std::uint32_t>(a),
+                   kCoreBase + static_cast<std::uint32_t>(c), config_.agg_core_bps);
+    }
+  }
+}
+
+std::vector<LinkId> CanonicalTree::route(HostId a, HostId b,
+                                         std::uint64_t flow_hash) const {
+  std::vector<LinkId> path;
+  const int level = comm_level(a, b);
+  if (level == 0) return path;
+
+  path.push_back(host_uplink_[a]);
+  if (level >= 2) {
+    path.push_back(tor_uplink_[static_cast<std::size_t>(rack_of(a))]);
+    if (level == 3) {
+      const auto core = static_cast<std::size_t>(flow_hash % config_.cores);
+      path.push_back(agg_core_link(static_cast<std::size_t>(pod_of(a)), core));
+      path.push_back(agg_core_link(static_cast<std::size_t>(pod_of(b)), core));
+    }
+    path.push_back(tor_uplink_[static_cast<std::size_t>(rack_of(b))]);
+  }
+  path.push_back(host_uplink_[b]);
+  return path;
+}
+
+}  // namespace score::topo

@@ -1,0 +1,68 @@
+// Canonical (multi-rooted) tree topology — paper Fig. 1(a).
+//
+// Hosts attach to ToR switches; groups of ToRs share one aggregation switch
+// (a "pod"); every aggregation switch uplinks to every core switch. Routing
+// within a rack or pod is single-path; across the core, a per-flow hash picks
+// one of the core switches (limited path diversity, as in real canonical
+// trees whose redundancy exists for fault tolerance rather than bandwidth).
+//
+// Paper-scale configuration: 2560 hosts, 128 ToR switches, 20 hosts per rack.
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace score::topo {
+
+struct CanonicalTreeConfig {
+  std::size_t racks = 128;
+  std::size_t hosts_per_rack = 20;
+  std::size_t racks_per_pod = 8;   ///< ToRs per aggregation switch.
+  std::size_t cores = 8;           ///< Core switches (ECMP fan-out).
+  double host_link_bps = 1e9;      ///< Server-to-ToR links (1 Gb/s).
+  double tor_agg_bps = 10e9;       ///< ToR-to-aggregation links (10 Gb/s).
+  double agg_core_bps = 10e9;      ///< Aggregation-to-core links (10 Gb/s).
+
+  /// Paper-scale instance used throughout §VI (2560 hosts).
+  static CanonicalTreeConfig paper_scale() { return CanonicalTreeConfig{}; }
+
+  /// Scaled-down instance (same shape) for fast tests and default benches.
+  static CanonicalTreeConfig small_scale() {
+    CanonicalTreeConfig c;
+    c.racks = 16;
+    c.hosts_per_rack = 5;
+    c.racks_per_pod = 4;
+    c.cores = 2;
+    return c;
+  }
+};
+
+class CanonicalTree final : public Topology {
+ public:
+  explicit CanonicalTree(const CanonicalTreeConfig& config = {});
+
+  std::string name() const override { return "canonical-tree"; }
+
+  const CanonicalTreeConfig& config() const { return config_; }
+  std::size_t num_aggs() const { return num_aggs_; }
+  std::size_t num_cores() const { return config_.cores; }
+
+  std::vector<LinkId> route(HostId a, HostId b, std::uint64_t flow_hash) const override;
+
+  /// Level-1 link connecting a host to its ToR switch.
+  LinkId host_uplink(HostId h) const { return host_uplink_.at(h); }
+  /// Level-2 link connecting a rack's ToR to its pod aggregation switch.
+  LinkId tor_uplink(std::size_t rack) const { return tor_uplink_.at(rack); }
+  /// Level-3 link connecting an aggregation switch to a given core switch.
+  LinkId agg_core_link(std::size_t agg, std::size_t core) const {
+    return agg_core_link_.at(agg * config_.cores + core);
+  }
+
+ private:
+  CanonicalTreeConfig config_;
+  std::size_t num_aggs_ = 0;
+  std::vector<LinkId> host_uplink_;
+  std::vector<LinkId> tor_uplink_;
+  std::vector<LinkId> agg_core_link_;  ///< agg-major [agg][core].
+};
+
+}  // namespace score::topo

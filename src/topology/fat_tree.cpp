@@ -1,0 +1,84 @@
+#include "topology/fat_tree.hpp"
+
+namespace score::topo {
+
+namespace {
+constexpr std::uint32_t kEdgeBase = 1'000'000;
+constexpr std::uint32_t kAggBase = 2'000'000;
+constexpr std::uint32_t kCoreBase = 3'000'000;
+}  // namespace
+
+FatTree::FatTree(const FatTreeConfig& config) : config_(config) {
+  const std::size_t k = config_.k;
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("FatTree: k must be even and >= 2");
+  }
+  const std::size_t half = k / 2;
+  const std::size_t racks = k * half;        // edge switches
+  const std::size_t hosts = racks * half;    // k^3 / 4
+
+  num_pods_ = k;
+  host_rack_.resize(hosts);
+  rack_pod_.resize(racks);
+  for (std::size_t r = 0; r < racks; ++r) {
+    rack_pod_[r] = static_cast<int>(r / half);
+  }
+  for (std::size_t h = 0; h < hosts; ++h) {
+    host_rack_[h] = static_cast<int>(h / half);
+  }
+
+  host_uplink_.resize(hosts);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    host_uplink_[h] = add_link(1, static_cast<std::uint32_t>(h),
+                               kEdgeBase + static_cast<std::uint32_t>(host_rack_[h]),
+                               config_.host_link_bps);
+  }
+  edge_agg_link_.resize(racks * half);
+  for (std::size_t e = 0; e < racks; ++e) {
+    const std::size_t pod = e / half;
+    for (std::size_t j = 0; j < half; ++j) {
+      edge_agg_link_[e * half + j] =
+          add_link(2, kEdgeBase + static_cast<std::uint32_t>(e),
+                   kAggBase + static_cast<std::uint32_t>(pod * half + j),
+                   config_.edge_agg_bps);
+    }
+  }
+  agg_core_link_.resize(k * half * half);
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    for (std::size_t j = 0; j < half; ++j) {
+      for (std::size_t port = 0; port < half; ++port) {
+        // Core switch j*half + port is reachable via aggregation switch j of
+        // every pod; this matches the standard fat-tree wiring.
+        agg_core_link_[(pod * half + j) * half + port] =
+            add_link(3, kAggBase + static_cast<std::uint32_t>(pod * half + j),
+                     kCoreBase + static_cast<std::uint32_t>(j * half + port),
+                     config_.agg_core_bps);
+      }
+    }
+  }
+}
+
+std::vector<LinkId> FatTree::route(HostId a, HostId b, std::uint64_t flow_hash) const {
+  std::vector<LinkId> path;
+  const int level = comm_level(a, b);
+  if (level == 0) return path;
+
+  const std::size_t half = half_k();
+  path.push_back(host_uplink_[a]);
+  if (level >= 2) {
+    const auto edge_a = static_cast<std::size_t>(rack_of(a));
+    const auto edge_b = static_cast<std::size_t>(rack_of(b));
+    const std::size_t agg = flow_hash % half;  // ECMP over pod aggregation switches
+    path.push_back(edge_agg_link(edge_a, agg));
+    if (level == 3) {
+      const std::size_t port = (flow_hash / half) % half;  // ECMP over cores
+      path.push_back(agg_core_link(static_cast<std::size_t>(pod_of(a)), agg, port));
+      path.push_back(agg_core_link(static_cast<std::size_t>(pod_of(b)), agg, port));
+    }
+    path.push_back(edge_agg_link(edge_b, agg));
+  }
+  path.push_back(host_uplink_[b]);
+  return path;
+}
+
+}  // namespace score::topo

@@ -1,0 +1,66 @@
+// Fat-tree topology (Al-Fares et al., SIGCOMM'08) — paper Fig. 1(b).
+//
+// A k-ary fat-tree has k pods; each pod contains k/2 edge (ToR) switches and
+// k/2 aggregation switches in full bipartite connection; (k/2)^2 core
+// switches connect the pods (core c is attached to aggregation switch
+// c / (k/2) of every pod). Each edge switch serves k/2 hosts, giving
+// k^3/4 hosts total — k = 16 yields the paper's 1024-host instance.
+//
+// Routing uses per-flow ECMP: the flow hash picks the aggregation switch
+// (intra-pod) and additionally the core switch (inter-pod), modelling the
+// rich path diversity that the paper observes reduces fat-tree's reliance on
+// core links relative to the canonical tree.
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace score::topo {
+
+struct FatTreeConfig {
+  std::size_t k = 16;            ///< Arity; must be even and >= 2.
+  double host_link_bps = 1e9;    ///< Host-to-edge links.
+  double edge_agg_bps = 10e9;    ///< Edge-to-aggregation links.
+  double agg_core_bps = 10e9;    ///< Aggregation-to-core links.
+
+  /// Paper-scale instance: k = 16, 1024 hosts.
+  static FatTreeConfig paper_scale() { return FatTreeConfig{}; }
+
+  /// k = 4 (16 hosts) for unit tests; k = 8 (128 hosts) for default benches.
+  static FatTreeConfig small_scale() { return FatTreeConfig{.k = 4}; }
+};
+
+class FatTree final : public Topology {
+ public:
+  explicit FatTree(const FatTreeConfig& config = {});
+
+  std::string name() const override { return "fat-tree"; }
+
+  const FatTreeConfig& config() const { return config_; }
+  std::size_t k() const { return config_.k; }
+  std::size_t half_k() const { return config_.k / 2; }
+  std::size_t num_cores() const { return half_k() * half_k(); }
+  std::size_t num_edges() const { return config_.k * half_k(); }
+  std::size_t num_aggs() const { return config_.k * half_k(); }
+
+  std::vector<LinkId> route(HostId a, HostId b, std::uint64_t flow_hash) const override;
+
+  LinkId host_uplink(HostId h) const { return host_uplink_.at(h); }
+  /// Level-2 link between edge switch `edge` (rack index) and the `agg`-th
+  /// aggregation switch of the same pod, agg in [0, k/2).
+  LinkId edge_agg_link(std::size_t edge, std::size_t agg) const {
+    return edge_agg_link_.at(edge * half_k() + agg);
+  }
+  /// Level-3 link between the `agg`-th aggregation switch of pod `pod` and
+  /// its `port`-th core switch, port in [0, k/2).
+  LinkId agg_core_link(std::size_t pod, std::size_t agg, std::size_t port) const {
+    return agg_core_link_.at((pod * half_k() + agg) * half_k() + port);
+  }
+
+ private:
+  FatTreeConfig config_;
+  std::vector<LinkId> host_uplink_;
+  std::vector<LinkId> edge_agg_link_;  ///< [edge][agg_local].
+  std::vector<LinkId> agg_core_link_;  ///< [pod][agg_local][core_port].
+};
+
+}  // namespace score::topo

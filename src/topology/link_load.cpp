@@ -1,0 +1,29 @@
+#include "topology/link_load.hpp"
+
+#include <algorithm>
+
+namespace score::topo {
+
+std::vector<double> LinkLoadMap::utilizations_at_level(int level) const {
+  std::vector<double> out;
+  const auto& links = topo_->links();
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (links[i].level == level) {
+      out.push_back(load_bps_[i] / links[i].capacity_bps);
+    }
+  }
+  return out;
+}
+
+double LinkLoadMap::max_utilization(int level) const {
+  double best = 0.0;
+  const auto& links = topo_->links();
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (level == 0 || links[i].level == level) {
+      best = std::max(best, load_bps_[i] / links[i].capacity_bps);
+    }
+  }
+  return best;
+}
+
+}  // namespace score::topo

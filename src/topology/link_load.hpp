@@ -1,0 +1,48 @@
+// Per-link load accounting over a topology (Fig. 4a substrate).
+//
+// Given host-to-host flow rates, accumulates the offered load on every link
+// along the (possibly ECMP-hashed) route and reports utilisation relative to
+// link capacity, per layer. This is the quantity Remedy balances and whose
+// CDF the paper plots at core/aggregation layers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace score::topo {
+
+class LinkLoadMap {
+ public:
+  explicit LinkLoadMap(const Topology& topo)
+      : topo_(&topo), load_bps_(topo.links().size(), 0.0) {}
+
+  /// Add a flow of `rate_bps` between two hosts; `flow_hash` pins the ECMP path.
+  void add_flow(HostId a, HostId b, double rate_bps, std::uint64_t flow_hash) {
+    for (LinkId l : topo_->route(a, b, flow_hash)) load_bps_[l] += rate_bps;
+  }
+
+  void clear() { load_bps_.assign(load_bps_.size(), 0.0); }
+
+  double load_bps(LinkId l) const { return load_bps_.at(l); }
+
+  /// Offered load / capacity; can exceed 1.0 on oversubscribed links.
+  double utilization(LinkId l) const {
+    return load_bps_.at(l) / topo_->links()[l].capacity_bps;
+  }
+
+  /// Utilisations of all links at a given level (1 = host-ToR, ... 3 = core).
+  std::vector<double> utilizations_at_level(int level) const;
+
+  /// Maximum utilisation across links of a level (or all links for level 0).
+  double max_utilization(int level = 0) const;
+
+  const Topology& topology() const { return *topo_; }
+
+ private:
+  const Topology* topo_;
+  std::vector<double> load_bps_;
+};
+
+}  // namespace score::topo

@@ -1,0 +1,62 @@
+// DC traffic generator — paper §VI ("We have built a DC traffic generator to
+// evaluate S-CORE under realistic DC load patterns at increasing intensities").
+//
+// The generator reproduces the traffic characteristics the paper cites from
+// DC measurement studies (Kandula'09, Greenberg'09 VL2, Benson'10):
+//   * sparse ToR-level traffic matrices where only a handful of rack pairs
+//     are hotspots (Fig. 3a),
+//   * a long-tailed flow mix: mice flows dominate in count, a small set of
+//     elephant flows carries most bytes,
+//   * service-cluster structure: VMs belonging to the same logical service
+//     exchange most of their traffic with each other.
+//
+// The paper's medium/dense workloads are the base (sparse) matrix scaled
+// ×10 / ×50; `Intensity` mirrors that.
+#pragma once
+
+#include <cstdint>
+
+#include "traffic/traffic_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace score::traffic {
+
+enum class Intensity { kSparse, kMedium, kDense };
+
+/// Scale factor applied to the base TM (paper: ×1, ×10, ×50).
+double intensity_scale(Intensity intensity);
+
+const char* intensity_name(Intensity intensity);
+
+struct GeneratorConfig {
+  std::size_t num_vms = 512;
+  /// VMs are partitioned into logical services of this average size; most
+  /// traffic is intra-service (hotspot structure of Fig. 3a).
+  std::size_t mean_service_size = 8;
+  /// Average number of peers each VM talks to inside its service.
+  double intra_service_degree = 3.0;
+  /// Probability that a VM additionally talks to a VM of another service.
+  double cross_service_prob = 0.08;
+  /// Fraction of communicating pairs that are elephants.
+  double elephant_fraction = 0.1;
+  /// Mice rates: lognormal, median ~50 kb/s.
+  double mice_rate_mu = 10.8;  // ln(~49e3)
+  double mice_rate_sigma = 1.0;
+  /// Elephant rates: Pareto, scale 5 Mb/s, shape 1.5 (heavy tail).
+  double elephant_rate_scale = 5e6;
+  double elephant_rate_shape = 1.5;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a base (sparse-intensity) VM-level traffic matrix.
+/// Deterministic for a given config (including seed).
+TrafficMatrix generate_traffic(const GeneratorConfig& config);
+
+/// Convenience: base matrix scaled to the requested intensity.
+TrafficMatrix generate_traffic(const GeneratorConfig& config, Intensity intensity);
+
+/// Fraction of total bytes carried by the top `fraction` of pairs by rate —
+/// used to validate the long-tail property (elephants carry most bytes).
+double top_pair_byte_share(const TrafficMatrix& tm, double fraction);
+
+}  // namespace score::traffic

@@ -1,0 +1,80 @@
+#include "traffic/traffic_matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+namespace score::traffic {
+
+void TrafficMatrix::set_directed(VmId u, VmId v, double rate) {
+  auto& row = adj_.at(u);
+  auto it = std::find_if(row.begin(), row.end(),
+                         [v](const auto& p) { return p.first == v; });
+  if (rate <= 0.0) {
+    if (it != row.end()) row.erase(it);
+    return;
+  }
+  if (it != row.end()) {
+    it->second = rate;
+  } else {
+    row.emplace_back(v, rate);
+  }
+}
+
+void TrafficMatrix::set(VmId u, VmId v, double rate) {
+  if (u == v) throw std::invalid_argument("TrafficMatrix::set: u == v");
+  if (rate < 0.0) throw std::invalid_argument("TrafficMatrix::set: negative rate");
+  set_directed(u, v, rate);
+  set_directed(v, u, rate);
+}
+
+void TrafficMatrix::add(VmId u, VmId v, double delta) {
+  set(u, v, rate(u, v) + delta);
+}
+
+double TrafficMatrix::rate(VmId u, VmId v) const {
+  const auto& row = adj_.at(u);
+  auto it = std::find_if(row.begin(), row.end(),
+                         [v](const auto& p) { return p.first == v; });
+  return it == row.end() ? 0.0 : it->second;
+}
+
+std::size_t TrafficMatrix::num_pairs() const {
+  std::size_t directed = 0;
+  for (const auto& row : adj_) directed += row.size();
+  return directed / 2;
+}
+
+double TrafficMatrix::total_load() const {
+  double total = 0.0;
+  for (const auto& row : adj_) {
+    for (const auto& [peer, rate] : row) {
+      (void)peer;
+      total += rate;
+    }
+  }
+  return total / 2.0;
+}
+
+void TrafficMatrix::scale(double factor) {
+  if (factor < 0.0) throw std::invalid_argument("TrafficMatrix::scale: negative factor");
+  for (auto& row : adj_) {
+    for (auto& [peer, rate] : row) {
+      (void)peer;
+      rate *= factor;
+    }
+  }
+}
+
+std::vector<std::tuple<VmId, VmId, double>> TrafficMatrix::pairs() const {
+  std::vector<std::tuple<VmId, VmId, double>> out;
+  for (VmId u = 0; u < adj_.size(); ++u) {
+    for (const auto& [v, rate] : adj_[u]) {
+      if (u < v) out.emplace_back(u, v, rate);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace score::traffic

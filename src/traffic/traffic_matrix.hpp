@@ -1,0 +1,57 @@
+// Pairwise VM traffic loads λ(u,v) — paper §III.
+//
+// λ(u,v) is the average rate (incoming + outgoing) exchanged between VMs u
+// and v over a measurement window; it is symmetric by definition. DC traffic
+// matrices are sparse (each VM talks to a handful of peers), so we store
+// adjacency lists rather than a dense matrix: the cost model and the
+// migration-delta evaluation both iterate the neighbour set Vu.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace score::traffic {
+
+using VmId = std::uint32_t;
+
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(std::size_t num_vms) : adj_(num_vms) {}
+
+  std::size_t num_vms() const { return adj_.size(); }
+
+  /// Set λ(u,v) = λ(v,u) = rate (rate >= 0; 0 removes the pair). u != v.
+  void set(VmId u, VmId v, double rate);
+
+  /// Add `delta` to λ(u,v) (creates the pair if absent).
+  void add(VmId u, VmId v, double delta);
+
+  /// λ(u,v); 0 when the VMs do not communicate.
+  double rate(VmId u, VmId v) const;
+
+  /// The neighbour set Vu with per-neighbour rates.
+  const std::vector<std::pair<VmId, double>>& neighbors(VmId u) const {
+    return adj_.at(u);
+  }
+
+  /// Number of communicating (unordered) pairs.
+  std::size_t num_pairs() const;
+
+  /// Sum of λ over all unordered pairs.
+  double total_load() const;
+
+  /// Multiply every rate by `factor` (the paper scales its base TM ×10, ×50).
+  void scale(double factor);
+
+  /// All unordered pairs (u < v) with their rates, in deterministic order.
+  std::vector<std::tuple<VmId, VmId, double>> pairs() const;
+
+ private:
+  void set_directed(VmId u, VmId v, double rate);
+
+  std::vector<std::vector<std::pair<VmId, double>>> adj_;
+};
+
+}  // namespace score::traffic

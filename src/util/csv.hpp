@@ -1,0 +1,50 @@
+// Minimal CSV emitter for the benchmark harness. Every bench binary prints the
+// rows/series of the paper figure it regenerates; CSV keeps that machine- and
+// human-readable without a plotting dependency.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace score::util {
+
+/// Writes rows of comma-separated values to any ostream (stdout by default).
+/// Fields containing commas/quotes/newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out = std::cout) : out_(&out) {}
+
+  void header(const std::vector<std::string>& names) { write_row(names); }
+
+  template <typename... Ts>
+  void row(const Ts&... fields) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(fields));
+    (cells.push_back(to_cell(fields)), ...);
+    write_row(cells);
+  }
+
+  void write_row(const std::vector<std::string>& cells);
+
+  static std::string escape(const std::string& field);
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else {
+      std::ostringstream os;
+      os << value;
+      return os.str();
+    }
+  }
+
+  std::ostream* out_;
+};
+
+}  // namespace score::util

@@ -1,0 +1,23 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace score::util {
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("weighted_index: total weight must be > 0");
+  }
+  double target = uniform(0.0, total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (target < cum) return i;
+  }
+  return weights.size() - 1;  // numerical edge: target == total
+}
+
+}  // namespace score::util

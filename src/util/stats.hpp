@@ -1,0 +1,70 @@
+// Descriptive statistics used across the evaluation harness: means, standard
+// deviations, percentiles, and empirical CDFs (Fig. 4a and Fig. 5b of the
+// paper are, respectively, a CDF and a probability distribution).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace score::util {
+
+/// Streaming accumulator (Welford) for mean / variance without storing samples.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile with linear interpolation; p in [0,100]. Copies + sorts.
+double percentile(std::vector<double> samples, double p);
+
+/// Arithmetic mean of a sample vector (0 when empty).
+double mean(const std::vector<double>& samples);
+
+/// Sample standard deviation (0 for fewer than two samples).
+double stddev(const std::vector<double>& samples);
+
+/// Empirical CDF: sorted (value, cumulative-fraction) points, one per sample.
+/// Suitable for plotting Fig. 4a-style link-utilisation CDFs.
+std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> samples);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped to the
+/// first/last bin. Returns per-bin counts normalised to probabilities when
+/// `normalise` is set (Fig. 5b is a normalised histogram).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  double bin_center(std::size_t i) const { return bin_lo(i) + width_ / 2.0; }
+  std::size_t count(std::size_t i) const { return counts_[i]; }
+  std::size_t total() const { return total_; }
+  /// Fraction of samples in bin i (0 when empty).
+  double probability(std::size_t i) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace score::util

@@ -1,0 +1,187 @@
+// Allocation tests: placement/migration bookkeeping, capacity enforcement
+// across all four dimensions (slots, RAM, CPU, NIC), and the consistency
+// checker.
+#include <gtest/gtest.h>
+
+#include "core/allocation.hpp"
+
+namespace {
+
+using score::core::Allocation;
+using score::core::ServerCapacity;
+using score::core::VmId;
+using score::core::VmSpec;
+
+ServerCapacity small_cap() {
+  ServerCapacity cap;
+  cap.vm_slots = 2;
+  cap.ram_mb = 512.0;
+  cap.cpu_cores = 2.0;
+  cap.net_bps = 1e9;
+  return cap;
+}
+
+TEST(Allocation, AddVmPlacesAndCounts) {
+  Allocation alloc(4, small_cap());
+  const VmId a = alloc.add_vm(VmSpec{}, 1);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(alloc.server_of(a), 1u);
+  EXPECT_EQ(alloc.num_vms(), 1u);
+  EXPECT_EQ(alloc.vms_on(1).size(), 1u);
+  EXPECT_EQ(alloc.used_slots(1), 1u);
+  EXPECT_DOUBLE_EQ(alloc.used_ram_mb(1), 196.0);
+}
+
+TEST(Allocation, SequentialIds) {
+  Allocation alloc(4, small_cap());
+  EXPECT_EQ(alloc.add_vm(VmSpec{}, 0), 0u);
+  EXPECT_EQ(alloc.add_vm(VmSpec{}, 1), 1u);
+  EXPECT_EQ(alloc.add_vm(VmSpec{}, 2), 2u);
+}
+
+TEST(Allocation, SlotCapacityEnforced) {
+  Allocation alloc(2, small_cap());
+  VmSpec tiny;
+  tiny.ram_mb = 1.0;
+  tiny.cpu_cores = 0.1;
+  alloc.add_vm(tiny, 0);
+  alloc.add_vm(tiny, 0);
+  EXPECT_FALSE(alloc.can_host(0, tiny));
+  EXPECT_THROW(alloc.add_vm(tiny, 0), std::runtime_error);
+  EXPECT_TRUE(alloc.can_host(1, tiny));
+}
+
+TEST(Allocation, RamCapacityEnforced) {
+  Allocation alloc(2, small_cap());
+  VmSpec big;
+  big.ram_mb = 400.0;
+  big.cpu_cores = 0.5;
+  alloc.add_vm(big, 0);
+  EXPECT_FALSE(alloc.can_host(0, big));  // 800 > 512
+  VmSpec fits;
+  fits.ram_mb = 100.0;
+  fits.cpu_cores = 0.5;
+  EXPECT_TRUE(alloc.can_host(0, fits));
+}
+
+TEST(Allocation, CpuCapacityEnforced) {
+  Allocation alloc(1, small_cap());
+  VmSpec heavy;
+  heavy.ram_mb = 10.0;
+  heavy.cpu_cores = 1.5;
+  alloc.add_vm(heavy, 0);
+  EXPECT_FALSE(alloc.can_host(0, heavy));  // 3.0 > 2.0 cores
+}
+
+TEST(Allocation, NetCapacityEnforced) {
+  Allocation alloc(1, small_cap());
+  VmSpec chatty;
+  chatty.ram_mb = 10.0;
+  chatty.cpu_cores = 0.1;
+  chatty.net_bps = 0.7e9;
+  alloc.add_vm(chatty, 0);
+  EXPECT_FALSE(alloc.can_host(0, chatty));  // 1.4 Gb/s > 1 Gb/s
+  EXPECT_DOUBLE_EQ(alloc.used_net_bps(0), 0.7e9);
+}
+
+TEST(Allocation, MigrateMovesBookkeeping) {
+  Allocation alloc(3, small_cap());
+  const VmId vm = alloc.add_vm(VmSpec{}, 0);
+  alloc.migrate(vm, 2);
+  EXPECT_EQ(alloc.server_of(vm), 2u);
+  EXPECT_TRUE(alloc.vms_on(0).empty());
+  EXPECT_EQ(alloc.vms_on(2).size(), 1u);
+  EXPECT_DOUBLE_EQ(alloc.used_ram_mb(0), 0.0);
+  EXPECT_DOUBLE_EQ(alloc.used_ram_mb(2), 196.0);
+  EXPECT_TRUE(alloc.check_consistency());
+}
+
+TEST(Allocation, MigrateToSameServerIsNoop) {
+  Allocation alloc(2, small_cap());
+  const VmId vm = alloc.add_vm(VmSpec{}, 0);
+  alloc.migrate(vm, 0);
+  EXPECT_EQ(alloc.server_of(vm), 0u);
+  EXPECT_TRUE(alloc.check_consistency());
+}
+
+TEST(Allocation, MigrateRejectsFullTarget) {
+  Allocation alloc(2, small_cap());
+  VmSpec tiny;
+  tiny.ram_mb = 1.0;
+  tiny.cpu_cores = 0.1;
+  alloc.add_vm(tiny, 1);
+  alloc.add_vm(tiny, 1);
+  const VmId vm = alloc.add_vm(tiny, 0);
+  EXPECT_THROW(alloc.migrate(vm, 1), std::runtime_error);
+  EXPECT_EQ(alloc.server_of(vm), 0u);  // unchanged on failure
+  EXPECT_TRUE(alloc.check_consistency());
+}
+
+TEST(Allocation, BadIdsThrow) {
+  Allocation alloc(2, small_cap());
+  const VmId vm = alloc.add_vm(VmSpec{}, 0);
+  EXPECT_THROW(alloc.add_vm(VmSpec{}, 9), std::out_of_range);
+  EXPECT_THROW(alloc.migrate(vm, 9), std::out_of_range);
+  EXPECT_THROW(alloc.migrate(42, 1), std::out_of_range);
+}
+
+TEST(Allocation, HeterogeneousServers) {
+  ServerCapacity big = small_cap();
+  big.vm_slots = 8;
+  big.ram_mb = 4096;
+  big.cpu_cores = 8;
+  Allocation alloc(std::vector<ServerCapacity>{small_cap(), big});
+  for (int i = 0; i < 8; ++i) {
+    VmSpec s;
+    s.ram_mb = 100;
+    s.cpu_cores = 0.5;
+    alloc.add_vm(s, 1);
+  }
+  EXPECT_EQ(alloc.used_slots(1), 8u);
+  VmSpec s;
+  s.ram_mb = 100;
+  s.cpu_cores = 0.5;
+  EXPECT_FALSE(alloc.can_host(1, s));
+  EXPECT_TRUE(alloc.can_host(0, s));
+}
+
+TEST(Allocation, FreeCapacityAccessors) {
+  Allocation alloc(1, small_cap());
+  EXPECT_EQ(alloc.free_slots(0), 2u);
+  EXPECT_DOUBLE_EQ(alloc.free_ram_mb(0), 512.0);
+  alloc.add_vm(VmSpec{}, 0);
+  EXPECT_EQ(alloc.free_slots(0), 1u);
+  EXPECT_DOUBLE_EQ(alloc.free_ram_mb(0), 512.0 - 196.0);
+}
+
+TEST(Allocation, ManyRandomMigrationsStayConsistent) {
+  Allocation alloc(16, small_cap());
+  VmSpec tiny;
+  tiny.ram_mb = 50.0;
+  tiny.cpu_cores = 0.25;
+  for (int i = 0; i < 20; ++i) {
+    alloc.add_vm(tiny, static_cast<score::core::ServerId>(i % 16));
+  }
+  std::uint64_t state = 12345;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  int applied = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto vm = static_cast<VmId>(next() % 20);
+    const auto target = static_cast<score::core::ServerId>(next() % 16);
+    if (alloc.can_host(target, alloc.spec(vm)) || alloc.server_of(vm) == target) {
+      alloc.migrate(vm, target);
+      ++applied;
+    }
+  }
+  EXPECT_GT(applied, 100);
+  EXPECT_TRUE(alloc.check_consistency());
+}
+
+TEST(Allocation, NoServersRejected) {
+  EXPECT_THROW(Allocation(std::vector<ServerCapacity>{}), std::invalid_argument);
+}
+
+}  // namespace

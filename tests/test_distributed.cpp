@@ -1,0 +1,304 @@
+// Distributed control-plane tests: IP address management (rack subnets,
+// §IV/§V-B.4), the message fabric, and the full dom0-agent runtime —
+// including the key property that the message-passing protocol reaches the
+// same quality of allocation as the centralized evaluation loop.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "core/token_policy.hpp"
+#include "helpers.hpp"
+#include "hypervisor/distributed_runtime.hpp"
+#include "hypervisor/ipam.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+using score::core::Allocation;
+using score::core::CostModel;
+using score::core::LinkWeights;
+using score::core::MigrationEngine;
+using score::core::RoundRobinPolicy;
+using score::core::ScoreSimulation;
+using score::core::SimConfig;
+using score::core::VmId;
+using score::hypervisor::DistributedScoreRuntime;
+using score::hypervisor::format_ipv4;
+using score::hypervisor::Ipam;
+using score::hypervisor::RuntimeConfig;
+using score::sim::EventQueue;
+using score::sim::Message;
+using score::sim::Network;
+using score::testing::random_allocation;
+using score::testing::random_tm;
+using score::testing::tiny_tree_config;
+using score::topo::CanonicalTree;
+using score::util::Rng;
+
+// -------------------------------------------------------------------- Ipam
+
+TEST(Ipam, RackSubnetAddressing) {
+  CanonicalTree topo(tiny_tree_config());  // 8 racks x 4 hosts
+  Ipam ipam(topo);
+  // Host 0: rack 0, first host -> 10.0.0.1.
+  EXPECT_EQ(format_ipv4(ipam.host_address(0)), "10.0.0.1");
+  // Host 5: rack 1, second host -> 10.0.1.2.
+  EXPECT_EQ(format_ipv4(ipam.host_address(5)), "10.0.1.2");
+  // Last host: rack 7, fourth host -> 10.0.7.4.
+  EXPECT_EQ(format_ipv4(ipam.host_address(31)), "10.0.7.4");
+}
+
+TEST(Ipam, AddressRoundTrip) {
+  CanonicalTree topo(tiny_tree_config());
+  Ipam ipam(topo);
+  for (score::topo::HostId h = 0; h < topo.num_hosts(); ++h) {
+    EXPECT_EQ(ipam.host_of_address(ipam.host_address(h)), h);
+    EXPECT_EQ(ipam.rack_of_address(ipam.host_address(h)), topo.rack_of(h));
+  }
+}
+
+TEST(Ipam, RejectsForeignAddresses) {
+  CanonicalTree topo(tiny_tree_config());
+  Ipam ipam(topo);
+  EXPECT_THROW(ipam.host_of_address(0xC0A80001), std::out_of_range);  // 192.168
+  EXPECT_THROW(ipam.host_of_address((10u << 24) | 0xFF01), std::out_of_range);
+}
+
+TEST(Ipam, LevelBetweenMatchesTopology) {
+  CanonicalTree topo(tiny_tree_config());
+  Ipam ipam(topo);
+  for (score::topo::HostId a = 0; a < topo.num_hosts(); a += 3) {
+    for (score::topo::HostId b = 0; b < topo.num_hosts(); b += 5) {
+      EXPECT_EQ(ipam.level_between(ipam.host_address(a), ipam.host_address(b)),
+                topo.comm_level(a, b));
+    }
+  }
+}
+
+TEST(Ipam, VmDirectory) {
+  CanonicalTree topo(tiny_tree_config());
+  Ipam ipam(topo);
+  const auto vm0 = ipam.allocate_vm(3);
+  const auto vm1 = ipam.allocate_vm(7);
+  EXPECT_EQ(vm0, Ipam::kVmBase);
+  EXPECT_EQ(vm1, Ipam::kVmBase + 1);  // sequential, totally ordered ids
+  EXPECT_EQ(ipam.vm_host(vm0), 3u);
+  ipam.move_vm(vm0, 9);
+  EXPECT_EQ(ipam.vm_host(vm0), 9u);
+  EXPECT_THROW(ipam.vm_host(Ipam::kVmBase + 99), std::out_of_range);
+  EXPECT_THROW(ipam.move_vm(vm1, 1000), std::out_of_range);
+}
+
+TEST(Ipam, FormatIpv4) {
+  EXPECT_EQ(format_ipv4(0x0A000001), "10.0.0.1");
+  EXPECT_EQ(format_ipv4(0xFFFFFFFF), "255.255.255.255");
+  EXPECT_EQ(format_ipv4(0), "0.0.0.0");
+}
+
+// ----------------------------------------------------------------- Network
+
+TEST(Network, DeliversToHandlerWithLatency) {
+  CanonicalTree topo(tiny_tree_config());
+  EventQueue queue;
+  Network net(queue, topo, /*per_hop=*/1e-3, /*loopback=*/1e-4);
+  double delivered_at = -1.0;
+  int got_type = 0;
+  net.attach(31, [&](const Message& m) {
+    delivered_at = queue.now();
+    got_type = m.type;
+  });
+  net.send(Message{0, 31, 7, {1, 2, 3}});
+  queue.run();
+  // Hosts 0 and 31 are cross-core: 6 hops -> 6 ms.
+  EXPECT_DOUBLE_EQ(delivered_at, 6e-3);
+  EXPECT_EQ(got_type, 7);
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.bytes_sent(), 3u);
+}
+
+TEST(Network, LoopbackLatencyForSameHost) {
+  CanonicalTree topo(tiny_tree_config());
+  EventQueue queue;
+  Network net(queue, topo, 1e-3, 1e-4);
+  double delivered_at = -1.0;
+  net.attach(4, [&](const Message&) { delivered_at = queue.now(); });
+  net.send(Message{4, 4, 1, {}});
+  queue.run();
+  EXPECT_DOUBLE_EQ(delivered_at, 1e-4);
+}
+
+TEST(Network, DropsWithoutHandler) {
+  CanonicalTree topo(tiny_tree_config());
+  EventQueue queue;
+  Network net(queue, topo);
+  net.send(Message{0, 1, 1, {}});
+  queue.run();
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST(Network, FifoBetweenSamePair) {
+  CanonicalTree topo(tiny_tree_config());
+  EventQueue queue;
+  Network net(queue, topo);
+  std::vector<int> order;
+  net.attach(1, [&](const Message& m) { order.push_back(m.type); });
+  for (int i = 0; i < 5; ++i) net.send(Message{0, 1, i, {}});
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// ------------------------------------------------------ DistributedRuntime
+
+class DistributedTest : public ::testing::Test {
+ protected:
+  DistributedTest()
+      : topo_(tiny_tree_config()), model_(topo_, LinkWeights::exponential(3)) {}
+
+  CanonicalTree topo_;
+  CostModel model_;
+};
+
+TEST_F(DistributedTest, ReducesCostAndStaysConsistent) {
+  Rng rng(31);
+  auto tm = random_tm(40, 3.0, rng);
+  auto alloc = random_allocation(topo_, 40, rng);
+  DistributedScoreRuntime runtime(model_, alloc, tm);
+  const auto res = runtime.run();
+  EXPECT_LT(res.final_cost, res.initial_cost);
+  EXPECT_GT(res.total_migrations, 0u);
+  EXPECT_TRUE(alloc.check_consistency());
+  EXPECT_NEAR(res.final_cost, model_.total_cost(alloc, tm), 1e-6 * res.final_cost);
+}
+
+TEST_F(DistributedTest, MatchesCentralizedEngineQuality) {
+  // The message-passing protocol must land within a whisker of the
+  // centralized loop driven by the same policy and candidate rules (small
+  // differences can come from byte-counter rounding in the flow table).
+  Rng rng(32);
+  auto tm = random_tm(48, 3.0, rng);
+  auto alloc_central = random_allocation(topo_, 48, rng);
+  auto alloc_dist = alloc_central;
+
+  MigrationEngine engine(model_);
+  RoundRobinPolicy rr;
+  ScoreSimulation central(engine, rr, alloc_central, tm);
+  SimConfig scfg;
+  scfg.iterations = 5;
+  const auto central_res = central.run(scfg);
+
+  RuntimeConfig rcfg;
+  rcfg.iterations = 5;
+  DistributedScoreRuntime runtime(model_, alloc_dist, tm, rcfg);
+  const auto dist_res = runtime.run();
+
+  EXPECT_NEAR(dist_res.final_cost, central_res.final_cost,
+              0.05 * central_res.final_cost + 1e-9);
+}
+
+TEST_F(DistributedTest, TokenMessagesCountHoldsPlusOne) {
+  Rng rng(33);
+  auto tm = random_tm(24, 2.0, rng);
+  auto alloc = random_allocation(topo_, 24, rng);
+  RuntimeConfig cfg;
+  cfg.iterations = 3;
+  cfg.stop_when_stable = false;
+  DistributedScoreRuntime runtime(model_, alloc, tm, cfg);
+  const auto res = runtime.run();
+  ASSERT_EQ(res.iterations.size(), 3u);
+  // One token message injects the run; each hold forwards exactly once,
+  // except the final hold which ends the run.
+  EXPECT_EQ(res.token_messages, 3u * 24u);
+}
+
+TEST_F(DistributedTest, LocationProbesPairPerNeighbor) {
+  Rng rng(34);
+  auto tm = random_tm(24, 2.0, rng);
+  auto alloc = random_allocation(topo_, 24, rng);
+  RuntimeConfig cfg;
+  cfg.iterations = 1;
+  cfg.stop_when_stable = false;
+  DistributedScoreRuntime runtime(model_, alloc, tm, cfg);
+  const auto res = runtime.run();
+  std::size_t neighbor_links = 0;
+  for (VmId u = 0; u < 24; ++u) neighbor_links += tm.neighbors(u).size();
+  // One request + one response per (holder, peer) incidence.
+  EXPECT_EQ(res.location_messages, 2 * neighbor_links);
+}
+
+TEST_F(DistributedTest, HlfPolicyRuns) {
+  Rng rng(35);
+  auto tm = random_tm(32, 3.0, rng);
+  auto alloc = random_allocation(topo_, 32, rng);
+  RuntimeConfig cfg;
+  cfg.policy = "highest-level-first";
+  DistributedScoreRuntime runtime(model_, alloc, tm, cfg);
+  const auto res = runtime.run();
+  EXPECT_LT(res.final_cost, res.initial_cost);
+  EXPECT_TRUE(alloc.check_consistency());
+}
+
+TEST_F(DistributedTest, MigrationCostGateHonored) {
+  Rng rng(36);
+  auto tm = random_tm(24, 2.0, rng);
+  auto alloc0 = random_allocation(topo_, 24, rng);
+  auto alloc1 = alloc0;
+
+  RuntimeConfig cheap;
+  const auto res0 = DistributedScoreRuntime(model_, alloc0, tm, cheap).run();
+
+  RuntimeConfig priced;
+  priced.engine.migration_cost = 1e12;  // prohibitive
+  const auto res1 = DistributedScoreRuntime(model_, alloc1, tm, priced).run();
+
+  EXPECT_GT(res0.total_migrations, 0u);
+  EXPECT_EQ(res1.total_migrations, 0u);
+  EXPECT_DOUBLE_EQ(res1.final_cost, res1.initial_cost);
+}
+
+TEST_F(DistributedTest, StableStopEndsRunEarly) {
+  Rng rng(37);
+  auto tm = random_tm(16, 2.0, rng);
+  auto alloc = random_allocation(topo_, 16, rng);
+  RuntimeConfig cfg;
+  cfg.iterations = 40;
+  const auto res = DistributedScoreRuntime(model_, alloc, tm, cfg).run();
+  EXPECT_LT(res.iterations.size(), 40u);
+  EXPECT_EQ(res.iterations.back().migrations, 0u);
+}
+
+TEST_F(DistributedTest, ControlBytesScaleWithFleet) {
+  Rng rng(38);
+  auto tm_small = random_tm(8, 2.0, rng);
+  auto tm_large = random_tm(32, 2.0, rng);
+  auto alloc_small = random_allocation(topo_, 8, rng);
+  auto alloc_large = random_allocation(topo_, 32, rng);
+  RuntimeConfig cfg;
+  cfg.iterations = 1;
+  cfg.stop_when_stable = false;
+  const auto small = DistributedScoreRuntime(model_, alloc_small, tm_small, cfg).run();
+  const auto large = DistributedScoreRuntime(model_, alloc_large, tm_large, cfg).run();
+  // Token size is O(|V|) and each VM holds once per iteration: bytes grow
+  // super-linearly in |V| per iteration (paper §V-A notes the O(|V|) token).
+  EXPECT_GT(large.control_bytes, small.control_bytes);
+}
+
+TEST_F(DistributedTest, RejectsBadConfig) {
+  Rng rng(39);
+  auto tm = random_tm(8, 2.0, rng);
+  auto alloc = random_allocation(topo_, 8, rng);
+  RuntimeConfig cfg;
+  cfg.policy = "bogus";
+  EXPECT_THROW(DistributedScoreRuntime(model_, alloc, tm, cfg),
+               std::invalid_argument);
+  score::traffic::TrafficMatrix wrong(9);
+  EXPECT_THROW(DistributedScoreRuntime(model_, alloc, wrong), std::invalid_argument);
+}
+
+TEST_F(DistributedTest, SimulatedTimeAdvances) {
+  Rng rng(40);
+  auto tm = random_tm(16, 2.0, rng);
+  auto alloc = random_allocation(topo_, 16, rng);
+  const auto res = DistributedScoreRuntime(model_, alloc, tm).run();
+  EXPECT_GT(res.duration_s, 0.0);
+}
+
+}  // namespace

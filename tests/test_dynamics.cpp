@@ -1,0 +1,142 @@
+// Traffic-dynamics tests: persistent hotspots, mice churn, determinism, and
+// the measurement-window average — plus the stability property the paper
+// argues in §VI-B: a converged S-CORE allocation barely re-migrates under
+// mice churn when decisions use window-averaged loads.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "core/token_policy.hpp"
+#include "helpers.hpp"
+#include "traffic/dynamics.hpp"
+
+namespace {
+
+using score::core::MigrationEngine;
+using score::core::RoundRobinPolicy;
+using score::core::ScoreSimulation;
+using score::traffic::average_tms;
+using score::traffic::DynamicsConfig;
+using score::traffic::GeneratorConfig;
+using score::traffic::TrafficDynamics;
+using score::traffic::TrafficMatrix;
+using score::traffic::VmId;
+
+GeneratorConfig small_gen() {
+  GeneratorConfig g;
+  g.num_vms = 128;
+  g.seed = 5;
+  return g;
+}
+
+TEST(Dynamics, EpochZeroIsBaseMatrix) {
+  TrafficDynamics dyn(small_gen(), DynamicsConfig{});
+  const auto base = score::traffic::generate_traffic(small_gen());
+  EXPECT_EQ(dyn.epoch(0).pairs(), base.pairs());
+}
+
+TEST(Dynamics, DeterministicAcrossInstances) {
+  TrafficDynamics a(small_gen(), DynamicsConfig{});
+  TrafficDynamics b(small_gen(), DynamicsConfig{});
+  EXPECT_EQ(a.epoch(4).pairs(), b.epoch(4).pairs());
+}
+
+TEST(Dynamics, RandomAccessMatchesSequentialAccess) {
+  TrafficDynamics a(small_gen(), DynamicsConfig{});
+  TrafficDynamics b(small_gen(), DynamicsConfig{});
+  for (std::size_t k = 0; k <= 3; ++k) (void)a.epoch(k);
+  EXPECT_EQ(a.epoch(3).pairs(), b.epoch(3).pairs());  // b jumps straight to 3
+}
+
+TEST(Dynamics, ElephantsPersistAcrossAdjacentEpochs) {
+  TrafficDynamics dyn(small_gen(), DynamicsConfig{});
+  // "Fixed-set hotspots that change slowly over time".
+  EXPECT_GT(dyn.elephant_overlap(0, 1), 0.6);
+  EXPECT_GT(dyn.elephant_overlap(3, 4), 0.6);
+}
+
+TEST(Dynamics, MiceChurnReshufflesPairs) {
+  DynamicsConfig cfg;
+  cfg.mice_churn = 0.9;
+  cfg.rate_jitter_sigma = 0.0;
+  TrafficDynamics dyn(small_gen(), cfg);
+  const auto& e0 = dyn.epoch(0);
+  const auto& e1 = dyn.epoch(1);
+  // Count surviving pairs: with 90% churn, most mice pairs change endpoints.
+  std::size_t survived = 0;
+  for (const auto& [u, v, r] : e0.pairs()) {
+    (void)r;
+    if (e1.rate(u, v) > 0.0) ++survived;
+  }
+  EXPECT_LT(static_cast<double>(survived) / static_cast<double>(e0.num_pairs()),
+            0.4);
+}
+
+TEST(Dynamics, TotalLoadRoughlyConserved) {
+  DynamicsConfig cfg;
+  cfg.rate_jitter_sigma = 0.1;
+  TrafficDynamics dyn(small_gen(), cfg);
+  const double l0 = dyn.epoch(0).total_load();
+  const double l5 = dyn.epoch(5).total_load();
+  EXPECT_NEAR(l5 / l0, 1.0, 0.5);  // jitter is multiplicative, mean ~1
+}
+
+TEST(Dynamics, AverageTmsIsElementwiseMean) {
+  TrafficMatrix a(4), b(4);
+  a.set(0, 1, 10.0);
+  a.set(2, 3, 4.0);
+  b.set(0, 1, 20.0);
+  const auto avg = average_tms({&a, &b});
+  EXPECT_DOUBLE_EQ(avg.rate(0, 1), 15.0);
+  EXPECT_DOUBLE_EQ(avg.rate(2, 3), 2.0);
+}
+
+TEST(Dynamics, AverageTmsRejectsBadInput) {
+  TrafficMatrix a(4), b(5);
+  EXPECT_THROW(average_tms({}), std::invalid_argument);
+  EXPECT_THROW(average_tms({&a, &b}), std::invalid_argument);
+}
+
+TEST(Dynamics, WindowAveragingSuppressesOscillation) {
+  // §VI-B stability: converge on the averaged TM, then expose the allocation
+  // to instantaneous epochs. Decisions on the *average* trigger almost no
+  // further migrations; decisions on each instantaneous epoch trigger more.
+  score::topo::CanonicalTree topo(score::testing::tiny_tree_config());
+  score::core::CostModel model(topo, score::core::LinkWeights::exponential(3));
+  MigrationEngine engine(model);
+
+  GeneratorConfig gen;
+  gen.num_vms = 64;
+  gen.seed = 11;
+  DynamicsConfig dcfg;
+  dcfg.mice_churn = 0.6;
+  TrafficDynamics dyn(gen, dcfg);
+
+  score::util::Rng rng(12);
+  auto alloc = score::testing::random_allocation(topo, 64, rng);
+
+  // Converge on the window average of epochs 0..3.
+  const auto avg = average_tms(
+      {&dyn.epoch(0), &dyn.epoch(1), &dyn.epoch(2), &dyn.epoch(3)});
+  {
+    RoundRobinPolicy rr;
+    ScoreSimulation sim(engine, rr, alloc, avg);
+    (void)sim.run();
+  }
+
+  // One more iteration on the *same* average: stable (no oscillation).
+  std::size_t avg_migrations = 0;
+  for (VmId u = 0; u < 64; ++u) {
+    if (engine.evaluate(alloc, avg, u).migrate) ++avg_migrations;
+  }
+
+  // One iteration against a single instantaneous epoch: churn-induced moves.
+  std::size_t inst_migrations = 0;
+  for (VmId u = 0; u < 64; ++u) {
+    if (engine.evaluate(alloc, dyn.epoch(4), u).migrate) ++inst_migrations;
+  }
+
+  EXPECT_EQ(avg_migrations, 0u);
+  EXPECT_GE(inst_migrations, avg_migrations);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Fault-injection tests: the distributed control plane under message loss.
+// A lost token (or a lost probe response) stalls the loop; the placement
+// manager's watchdog re-injects its last token snapshot and the per-decision
+// nonces keep stale/duplicate probe responses from corrupting a restarted
+// attempt. The runtime must still terminate, reduce cost, and keep the
+// allocation consistent.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "hypervisor/distributed_runtime.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+using score::core::CostModel;
+using score::core::LinkWeights;
+using score::hypervisor::DistributedScoreRuntime;
+using score::hypervisor::RuntimeConfig;
+using score::sim::EventQueue;
+using score::sim::Message;
+using score::sim::Network;
+using score::testing::random_allocation;
+using score::testing::random_tm;
+using score::testing::tiny_tree_config;
+using score::topo::CanonicalTree;
+using score::util::Rng;
+
+TEST(NetworkLoss, DropsApproximatelyAtConfiguredRate) {
+  CanonicalTree topo(tiny_tree_config());
+  EventQueue queue;
+  Network net(queue, topo);
+  int delivered = 0;
+  net.attach(1, [&](const Message&) { ++delivered; });
+  net.set_loss(0.3, 7);
+  for (int i = 0; i < 2000; ++i) net.send(Message{0, 1, 1, {}});
+  queue.run();
+  EXPECT_EQ(net.messages_lost() + static_cast<std::uint64_t>(delivered), 2000u);
+  EXPECT_NEAR(static_cast<double>(net.messages_lost()) / 2000.0, 0.3, 0.05);
+}
+
+TEST(NetworkLoss, ZeroRateLosesNothing) {
+  CanonicalTree topo(tiny_tree_config());
+  EventQueue queue;
+  Network net(queue, topo);
+  int delivered = 0;
+  net.attach(1, [&](const Message&) { ++delivered; });
+  for (int i = 0; i < 100; ++i) net.send(Message{0, 1, 1, {}});
+  queue.run();
+  EXPECT_EQ(delivered, 100);
+  EXPECT_EQ(net.messages_lost(), 0u);
+}
+
+class LossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossSweep, RuntimeSurvivesMessageLoss) {
+  CanonicalTree topo(tiny_tree_config());
+  CostModel model(topo, LinkWeights::exponential(3));
+  Rng rng(71);
+  auto tm = random_tm(32, 3.0, rng);
+  auto alloc = random_allocation(topo, 32, rng);
+
+  RuntimeConfig cfg;
+  cfg.message_loss_rate = GetParam();
+  cfg.watchdog_interval_s = 3.0;
+  cfg.iterations = 4;
+  DistributedScoreRuntime runtime(model, alloc, tm, cfg);
+  const auto res = runtime.run();
+
+  // Terminates with the requested passes, still reduces cost, stays sane.
+  EXPECT_GE(res.iterations.size(), 1u);
+  EXPECT_LT(res.final_cost, res.initial_cost);
+  EXPECT_TRUE(alloc.check_consistency());
+  EXPECT_NEAR(res.final_cost, model.total_cost(alloc, tm),
+              1e-6 * (1.0 + res.final_cost));
+  if (GetParam() > 0.0) {
+    EXPECT_GT(res.messages_lost, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LossSweep, ::testing::Values(0.01, 0.05, 0.15));
+
+TEST(FaultInjection, WatchdogReinjectsAfterLoss) {
+  CanonicalTree topo(tiny_tree_config());
+  CostModel model(topo, LinkWeights::exponential(3));
+  Rng rng(72);
+  auto tm = random_tm(24, 3.0, rng);
+  auto alloc = random_allocation(topo, 24, rng);
+
+  RuntimeConfig cfg;
+  cfg.message_loss_rate = 0.15;  // high loss: recoveries certain
+  cfg.loss_seed = 4;
+  cfg.watchdog_interval_s = 2.0;
+  cfg.iterations = 3;
+  cfg.stop_when_stable = false;
+  DistributedScoreRuntime runtime(model, alloc, tm, cfg);
+  const auto res = runtime.run();
+  EXPECT_GT(res.token_reinjections, 0u);
+  EXPECT_EQ(res.iterations.size(), 3u);
+}
+
+TEST(FaultInjection, LossFreeRunHasNoReinjections) {
+  CanonicalTree topo(tiny_tree_config());
+  CostModel model(topo, LinkWeights::exponential(3));
+  Rng rng(73);
+  auto tm = random_tm(16, 2.0, rng);
+  auto alloc = random_allocation(topo, 16, rng);
+  const auto res = DistributedScoreRuntime(model, alloc, tm).run();
+  EXPECT_EQ(res.token_reinjections, 0u);
+  EXPECT_EQ(res.messages_lost, 0u);
+}
+
+TEST(FaultInjection, QualityDegradesGracefullyUnderLoss) {
+  // Lost probes shrink the candidate set a holder sees, so the reduction may
+  // degrade — but it must stay substantial, not collapse.
+  CanonicalTree topo(tiny_tree_config());
+  CostModel model(topo, LinkWeights::exponential(3));
+  Rng rng(74);
+  auto tm = random_tm(32, 3.0, rng);
+  auto clean_alloc = random_allocation(topo, 32, rng);
+  auto lossy_alloc = clean_alloc;
+
+  const auto clean = DistributedScoreRuntime(model, clean_alloc, tm).run();
+
+  RuntimeConfig cfg;
+  cfg.message_loss_rate = 0.10;
+  cfg.watchdog_interval_s = 2.0;
+  const auto lossy = DistributedScoreRuntime(model, lossy_alloc, tm, cfg).run();
+
+  EXPECT_GT(clean.reduction(), 0.4);
+  EXPECT_GT(lossy.reduction(), 0.3);
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// Flow-level simulator tests: max-min fairness properties (feasibility,
+// bottleneck optimality, classic textbook examples) and completion-time
+// semantics.
+#include <gtest/gtest.h>
+
+#include "sim/flow_sim.hpp"
+#include "topology/canonical_tree.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using score::sim::FlowLevelSimulator;
+using score::sim::FlowOutcome;
+using score::sim::FlowSpec;
+using score::topo::CanonicalTree;
+using score::topo::CanonicalTreeConfig;
+
+CanonicalTreeConfig tree_config() {
+  CanonicalTreeConfig cfg;
+  cfg.racks = 4;
+  cfg.hosts_per_rack = 4;
+  cfg.racks_per_pod = 2;
+  cfg.cores = 1;
+  cfg.host_link_bps = 1e9;
+  cfg.tor_agg_bps = 2e9;   // oversubscribed: 4 hosts x 1G feed a 2G uplink
+  cfg.agg_core_bps = 2e9;
+  return cfg;
+}
+
+TEST(FlowSim, SingleFlowGetsFullHostLink) {
+  CanonicalTree topo(tree_config());
+  FlowLevelSimulator sim(topo);
+  const auto rates = sim.fair_rates({{0, 1, 0.0, 0}});
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 1e9);  // bottleneck: the 1G host links
+}
+
+TEST(FlowSim, TwoFlowsShareACommonEndpointLink) {
+  CanonicalTree topo(tree_config());
+  FlowLevelSimulator sim(topo);
+  // Both flows terminate at host 1: its uplink is the 1G bottleneck.
+  const auto rates = sim.fair_rates({{0, 1, 0.0, 0}, {2, 1, 0.0, 0}});
+  EXPECT_DOUBLE_EQ(rates[0], 0.5e9);
+  EXPECT_DOUBLE_EQ(rates[1], 0.5e9);
+}
+
+TEST(FlowSim, DisjointFlowsDoNotInteract) {
+  CanonicalTree topo(tree_config());
+  FlowLevelSimulator sim(topo);
+  const auto rates = sim.fair_rates({{0, 1, 0.0, 0}, {2, 3, 0.0, 0}});
+  EXPECT_DOUBLE_EQ(rates[0], 1e9);
+  EXPECT_DOUBLE_EQ(rates[1], 1e9);
+}
+
+TEST(FlowSim, SameHostFlowGetsLocalRate) {
+  CanonicalTree topo(tree_config());
+  FlowLevelSimulator sim(topo);
+  sim.set_local_rate_bps(7e9);
+  const auto rates = sim.fair_rates({{5, 5, 0.0, 0}});
+  EXPECT_DOUBLE_EQ(rates[0], 7e9);
+}
+
+TEST(FlowSim, OversubscribedUplinkIsTheBottleneck) {
+  CanonicalTree topo(tree_config());
+  FlowLevelSimulator sim(topo);
+  // Four hosts of rack 0 each send to a distinct host of rack 1 (same pod):
+  // the 2G ToR uplink is shared -> 0.5G each, below the 1G host links.
+  std::vector<FlowSpec> flows;
+  for (std::uint32_t i = 0; i < 4; ++i) flows.push_back({i, 4 + i, 0.0, 0});
+  const auto rates = sim.fair_rates(flows);
+  for (double r : rates) EXPECT_DOUBLE_EQ(r, 0.5e9);
+}
+
+TEST(FlowSim, MaxMinNotEqualShare) {
+  // Classic: one long flow crossing two bottlenecks, short flows on each.
+  // Long flow 0->8 (cross-pod via core); short heavy load on its first ToR
+  // uplink. Max-min gives the unconstrained short flow more than the long.
+  CanonicalTree topo(tree_config());
+  FlowLevelSimulator sim(topo);
+  std::vector<FlowSpec> flows;
+  flows.push_back({0, 8, 0.0, 0});   // long: rack 0 -> rack 2 (cross-pod)
+  flows.push_back({1, 4, 0.0, 0});   // shares ToR-0 uplink (2G)
+  flows.push_back({2, 5, 0.0, 0});   // shares ToR-0 uplink
+  flows.push_back({3, 6, 0.0, 0});   // shares ToR-0 uplink
+  const auto rates = sim.fair_rates(flows);
+  // ToR-0 uplink: 2G over 4 flows -> 0.5G each; nobody else constrained below.
+  for (double r : rates) EXPECT_NEAR(r, 0.5e9, 1e3);
+}
+
+TEST(FlowSim, FeasibilityOnEveryLink) {
+  CanonicalTree topo(tree_config());
+  FlowLevelSimulator sim(topo);
+  score::util::Rng rng(9);
+  std::vector<FlowSpec> flows;
+  for (int i = 0; i < 40; ++i) {
+    FlowSpec f;
+    f.src = static_cast<score::topo::HostId>(rng.index(topo.num_hosts()));
+    f.dst = static_cast<score::topo::HostId>(rng.index(topo.num_hosts()));
+    f.ecmp_hash = rng.engine()();
+    flows.push_back(f);
+  }
+  const auto rates = sim.fair_rates(flows);
+  std::vector<double> load(topo.links().size(), 0.0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    for (auto l : topo.route(flows[i].src, flows[i].dst, flows[i].ecmp_hash)) {
+      load[l] += rates[i];
+    }
+  }
+  for (std::size_t l = 0; l < load.size(); ++l) {
+    EXPECT_LE(load[l], topo.links()[l].capacity_bps * (1.0 + 1e-9));
+  }
+  // Max-min: every inter-host flow is bottlenecked on some saturated link.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].src == flows[i].dst) continue;
+    bool bottlenecked = false;
+    for (auto l : topo.route(flows[i].src, flows[i].dst, flows[i].ecmp_hash)) {
+      if (load[l] >= topo.links()[l].capacity_bps * (1.0 - 1e-6)) {
+        bottlenecked = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(bottlenecked) << "flow " << i;
+  }
+}
+
+TEST(FlowSim, RunComputesCompletionTimes) {
+  CanonicalTree topo(tree_config());
+  FlowLevelSimulator sim(topo);
+  // One 1 GB flow alone on a 1G link: 8 seconds.
+  const auto out = sim.run({{0, 1, 1e9, 0}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0].finish_s, 8.0, 1e-6);
+  EXPECT_NEAR(out[0].mean_rate_bps, 1e9, 1.0);
+}
+
+TEST(FlowSim, ShortFlowFinishesFirstThenLongSpeedsUp) {
+  CanonicalTree topo(tree_config());
+  FlowLevelSimulator sim(topo);
+  // Two flows into host 1 (1G shared): short 0.25 GB, long 1 GB.
+  const auto out = sim.run({{0, 1, 1e9, 0}, {2, 1, 0.25e9, 0}});
+  // Short: 2 Gbit at 0.5 Gb/s -> 4 s. Long: 2 of 8 Gbit done at t=4, the
+  // remaining 6 Gbit then run at the full 1 Gb/s -> finishes at 4 + 6 = 10 s.
+  EXPECT_NEAR(out[1].finish_s, 4.0, 1e-6);
+  EXPECT_NEAR(out[0].finish_s, 10.0, 1e-6);
+}
+
+TEST(FlowSim, RunRejectsNonPositiveSizes) {
+  CanonicalTree topo(tree_config());
+  FlowLevelSimulator sim(topo);
+  EXPECT_THROW(sim.run({{0, 1, 0.0, 0}}), std::invalid_argument);
+}
+
+TEST(FlowSim, LocalizationImprovesFct) {
+  // The system-level point: colocating a hot pair away from the shared
+  // oversubscribed uplink cuts everyone's completion time.
+  CanonicalTree topo(tree_config());
+  FlowLevelSimulator sim(topo);
+  std::vector<FlowSpec> congested;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    congested.push_back({i, 4 + i, 2e9, 0});  // all cross the 2G ToR uplink
+  }
+  const auto before = sim.run(congested);
+
+  // After "migration": two pairs are colocated on one server (S-CORE's
+  // level-0 outcome), freeing the shared uplink for the others.
+  std::vector<FlowSpec> localized = congested;
+  localized[0].dst = localized[0].src;
+  localized[1].dst = localized[1].src;
+  const auto after = sim.run(localized);
+
+  double worst_before = 0.0, worst_after = 0.0;
+  for (const auto& o : before) worst_before = std::max(worst_before, o.finish_s);
+  for (const auto& o : after) worst_after = std::max(worst_after, o.finish_s);
+  EXPECT_LT(worst_after, worst_before);
+}
+
+}  // namespace

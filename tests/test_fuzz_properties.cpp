@@ -1,0 +1,161 @@
+// Randomized property tests against reference oracles:
+//  * the flow table vs. a simple std::map model under random CRUD traffic,
+//  * the token codecs vs. random entry sets,
+//  * paper-scale topology construction invariants (2560-host canonical tree,
+//    k = 16 fat-tree) — cheap to build, worth pinning down.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/allocation.hpp"
+#include "hypervisor/flow_table.hpp"
+#include "hypervisor/token_codec.hpp"
+#include "topology/canonical_tree.hpp"
+#include "topology/fat_tree.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using score::hypervisor::FlowKey;
+using score::hypervisor::FlowTable;
+using score::hypervisor::TokenEntry;
+using score::util::Rng;
+
+struct KeyLess {
+  bool operator()(const FlowKey& a, const FlowKey& b) const {
+    return std::tie(a.src_ip, a.dst_ip, a.src_port, a.dst_port, a.proto) <
+           std::tie(b.src_ip, b.dst_ip, b.src_port, b.dst_port, b.proto);
+  }
+};
+
+class FlowTableFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowTableFuzz, MatchesMapOracleUnderRandomOps) {
+  Rng rng(GetParam());
+  FlowTable table;
+  std::map<FlowKey, std::uint64_t, KeyLess> oracle;  // key -> bytes
+
+  auto random_key = [&rng]() {
+    FlowKey k;
+    k.src_ip = static_cast<std::uint32_t>(rng.index(12));  // small space: collisions
+    k.dst_ip = static_cast<std::uint32_t>(100 + rng.index(12));
+    k.src_port = static_cast<std::uint16_t>(rng.index(4));
+    k.dst_port = static_cast<std::uint16_t>(rng.index(4));
+    return k;
+  };
+
+  double now = 0.0;
+  for (int op = 0; op < 4000; ++op) {
+    now += 0.001;
+    const int action = static_cast<int>(rng.index(10));
+    const FlowKey key = random_key();
+    if (action < 5) {  // update
+      const auto bytes = static_cast<std::uint64_t>(rng.index(10'000));
+      table.update(key, bytes, 1, now);
+      oracle[key] += bytes;
+    } else if (action < 7) {  // remove
+      const bool existed = oracle.erase(key) > 0;
+      EXPECT_EQ(table.remove(key), existed);
+    } else if (action < 9) {  // lookup
+      const auto* rec = table.lookup(key);
+      const auto it = oracle.find(key);
+      if (it == oracle.end()) {
+        EXPECT_EQ(rec, nullptr);
+      } else {
+        ASSERT_NE(rec, nullptr);
+        EXPECT_EQ(rec->bytes, it->second);
+      }
+    } else {  // flows_for_ip vs oracle scan
+      const auto ip = key.src_ip;
+      std::set<FlowKey, KeyLess> expected;
+      for (const auto& [k, bytes] : oracle) {
+        (void)bytes;
+        if (k.src_ip == ip || k.dst_ip == ip) expected.insert(k);
+      }
+      const auto got_vec = table.flows_for_ip(ip);
+      std::set<FlowKey, KeyLess> got(got_vec.begin(), got_vec.end());
+      EXPECT_EQ(got, expected);
+    }
+  }
+  EXPECT_EQ(table.size(), oracle.size());
+
+  // Final: bytes_between must match a full oracle scan for a few pairs.
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    for (std::uint32_t b = 100; b < 104; ++b) {
+      std::uint64_t expected = 0;
+      for (const auto& [k, bytes] : oracle) {
+        if ((k.src_ip == a && k.dst_ip == b) || (k.src_ip == b && k.dst_ip == a)) {
+          expected += bytes;
+        }
+      }
+      EXPECT_EQ(table.bytes_between(a, b), expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowTableFuzz,
+                         ::testing::Values(101, 202, 303, 404));
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomTokensRoundTrip) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = rng.index(200);
+    std::set<std::uint32_t> ids;
+    while (ids.size() < n) {
+      ids.insert(static_cast<std::uint32_t>(rng.uniform_int(0, 1'000'000'000)));
+    }
+    std::vector<TokenEntry> entries;
+    std::vector<std::uint32_t> rr_ids;
+    for (std::uint32_t id : ids) {  // std::set iterates ascending
+      entries.push_back({id, static_cast<std::uint8_t>(rng.index(4))});
+      rr_ids.push_back(id);
+    }
+    EXPECT_EQ(score::hypervisor::decode_hlf_token(
+                  score::hypervisor::encode_hlf_token(entries)),
+              entries);
+    EXPECT_EQ(score::hypervisor::decode_rr_token(
+                  score::hypervisor::encode_rr_token(rr_ids)),
+              rr_ids);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Values(11, 22, 33));
+
+// ------------------------------------------------------------ paper scale
+
+TEST(PaperScale, CanonicalTree2560Hosts) {
+  score::topo::CanonicalTree topo(score::topo::CanonicalTreeConfig::paper_scale());
+  ASSERT_EQ(topo.num_hosts(), 2560u);
+  // Every host routable to a far host with a valid 6-hop path.
+  const auto path = topo.route(0, 2559, 99);
+  EXPECT_EQ(path.size(), 6u);
+  EXPECT_EQ(topo.comm_level(0, 2559), 3);
+  // Link inventory: 2560 + 128 + 16*8.
+  EXPECT_EQ(topo.links().size(), 2560u + 128u + 16u * 8u);
+}
+
+TEST(PaperScale, FatTreeK16) {
+  score::topo::FatTree topo(score::topo::FatTreeConfig::paper_scale());
+  ASSERT_EQ(topo.num_hosts(), 1024u);
+  EXPECT_EQ(topo.num_cores(), 64u);
+  // ECMP can reach all 64 cores for an inter-pod pair.
+  std::set<std::vector<score::topo::LinkId>> paths;
+  for (std::uint64_t h = 0; h < 512; ++h) paths.insert(topo.route(0, 1023, h));
+  EXPECT_EQ(paths.size(), 64u);
+}
+
+TEST(PaperScale, SixteenVmSlotsPerHostFitFleet) {
+  // Paper §VI: each host accommodates up to 16 VMs -> 40960 VM slots.
+  score::topo::CanonicalTree topo(score::topo::CanonicalTreeConfig::paper_scale());
+  score::core::ServerCapacity cap;  // defaults: 16 slots
+  score::core::Allocation alloc(topo.num_hosts(), cap);
+  EXPECT_EQ(cap.vm_slots * topo.num_hosts(), 40960u);
+  // Spot-check adding a full host's worth.
+  for (int i = 0; i < 16; ++i) alloc.add_vm(score::core::VmSpec{}, 0);
+  EXPECT_FALSE(alloc.can_host(0, score::core::VmSpec{}));
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Parameterized generator sweeps: the structural properties of the DC
+// traffic generator (sparsity, long tail, service clustering, determinism)
+// must hold across fleet sizes, service sizes, and elephant fractions — not
+// just at the defaults test_traffic covers.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "traffic/generator.hpp"
+
+namespace {
+
+using score::traffic::generate_traffic;
+using score::traffic::GeneratorConfig;
+using score::traffic::top_pair_byte_share;
+using score::traffic::VmId;
+
+using SweepParam = std::tuple<std::size_t /*vms*/, std::size_t /*service*/,
+                              double /*elephant_fraction*/>;
+
+class GeneratorSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  GeneratorConfig config() const {
+    const auto [vms, service, elephants] = GetParam();
+    GeneratorConfig cfg;
+    cfg.num_vms = vms;
+    cfg.mean_service_size = service;
+    cfg.elephant_fraction = elephants;
+    cfg.seed = 1000 + vms + service;
+    return cfg;
+  }
+};
+
+TEST_P(GeneratorSweep, DeterministicAndWellFormed) {
+  const auto cfg = config();
+  const auto a = generate_traffic(cfg);
+  const auto b = generate_traffic(cfg);
+  EXPECT_EQ(a.pairs(), b.pairs());
+  EXPECT_EQ(a.num_vms(), cfg.num_vms);
+  for (const auto& [u, v, rate] : a.pairs()) {
+    EXPECT_NE(u, v);
+    EXPECT_LT(u, cfg.num_vms);
+    EXPECT_LT(v, cfg.num_vms);
+    EXPECT_GT(rate, 0.0);
+  }
+}
+
+TEST_P(GeneratorSweep, SparsityScalesWithServiceSize) {
+  const auto cfg = config();
+  const auto tm = generate_traffic(cfg);
+  const double n = static_cast<double>(cfg.num_vms);
+  const double max_pairs = n * (n - 1.0) / 2.0;
+  // Pair count is O(n·degree), never a dense quadratic blow-up.
+  EXPECT_LT(static_cast<double>(tm.num_pairs()), 8.0 * n);
+  EXPECT_LT(static_cast<double>(tm.num_pairs()) / max_pairs, 0.25);
+  EXPECT_GT(tm.num_pairs(), cfg.num_vms / 2);  // and not degenerate
+}
+
+TEST_P(GeneratorSweep, LongTailPresentWheneverElephantsExist) {
+  const auto cfg = config();
+  const auto tm = generate_traffic(cfg);
+  const double share = top_pair_byte_share(tm, 0.10);
+  if (cfg.elephant_fraction > 0.0) {
+    EXPECT_GT(share, 0.45);
+  }
+  EXPECT_LE(share, 1.0);
+}
+
+TEST_P(GeneratorSweep, DegreeBoundedByServiceStructure) {
+  const auto cfg = config();
+  const auto tm = generate_traffic(cfg);
+  std::size_t max_degree = 0;
+  for (VmId u = 0; u < tm.num_vms(); ++u) {
+    max_degree = std::max(max_degree, tm.neighbors(u).size());
+  }
+  // Service frontends concentrate intra-service edges; even they stay within
+  // a few multiples of the service size.
+  EXPECT_LT(max_degree, 6 * cfg.mean_service_size + 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeneratorSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(64, 256, 1024),
+                       ::testing::Values<std::size_t>(8, 24, 48),
+                       ::testing::Values(0.0, 0.1, 0.3)));
+
+}  // namespace

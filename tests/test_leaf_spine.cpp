@@ -1,0 +1,131 @@
+// Leaf-spine topology tests: two-tier structure, flattened communication
+// levels, routing/ECMP, and the whole S-CORE stack running unchanged on it
+// (the paper's topology-neutrality claim).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/simulation.hpp"
+#include "core/token_policy.hpp"
+#include "helpers.hpp"
+#include "topology/leaf_spine.hpp"
+
+namespace {
+
+using score::core::CostModel;
+using score::core::LinkWeights;
+using score::core::MigrationEngine;
+using score::core::RoundRobinPolicy;
+using score::core::ScoreSimulation;
+using score::topo::LeafSpine;
+using score::topo::LeafSpineConfig;
+using score::topo::LinkId;
+using score::util::Rng;
+
+LeafSpineConfig small_ls() {
+  LeafSpineConfig cfg;
+  cfg.leaves = 6;
+  cfg.hosts_per_leaf = 4;
+  cfg.spines = 3;
+  return cfg;
+}
+
+TEST(LeafSpine, StructuralCounts) {
+  LeafSpine topo(small_ls());
+  EXPECT_EQ(topo.num_hosts(), 24u);
+  EXPECT_EQ(topo.num_racks(), 6u);
+  EXPECT_EQ(topo.num_spines(), 3u);
+  EXPECT_EQ(topo.max_level(), 2);
+  // 24 host links + 6*3 leaf-spine links.
+  EXPECT_EQ(topo.links().size(), 24u + 18u);
+}
+
+TEST(LeafSpine, FlattenedCommLevels) {
+  LeafSpine topo(small_ls());
+  EXPECT_EQ(topo.comm_level(0, 0), 0);
+  EXPECT_EQ(topo.comm_level(0, 3), 1);   // same leaf
+  EXPECT_EQ(topo.comm_level(0, 4), 2);   // different leaf -> spine
+  EXPECT_EQ(topo.comm_level(0, 23), 2);  // never more than 2
+  EXPECT_EQ(topo.hop_count(0, 23), 4);
+}
+
+TEST(LeafSpine, RoutesAreValid) {
+  LeafSpine topo(small_ls());
+  EXPECT_TRUE(topo.route(5, 5, 0).empty());
+  const auto rack_local = topo.route(0, 1, 0);
+  ASSERT_EQ(rack_local.size(), 2u);
+  EXPECT_EQ(topo.links()[rack_local[0]].level, 1);
+  const auto cross = topo.route(0, 20, 7);
+  ASSERT_EQ(cross.size(), 4u);
+  EXPECT_EQ(topo.links()[cross[1]].level, 2);
+  EXPECT_EQ(topo.links()[cross[2]].level, 2);
+}
+
+TEST(LeafSpine, EcmpSpreadsOverSpines) {
+  LeafSpine topo(small_ls());
+  std::set<std::vector<LinkId>> paths;
+  for (std::uint64_t h = 0; h < 12; ++h) paths.insert(topo.route(0, 20, h));
+  EXPECT_EQ(paths.size(), topo.num_spines());
+}
+
+TEST(LeafSpine, RejectsDegenerateConfig) {
+  LeafSpineConfig cfg;
+  cfg.spines = 0;
+  EXPECT_THROW(LeafSpine{cfg}, std::invalid_argument);
+}
+
+TEST(LeafSpine, ScoreRunsUnchangedOnTwoTiers) {
+  LeafSpine topo(small_ls());
+  // Two-level weights: c1 = 1, c2 = e.
+  CostModel model(topo, LinkWeights::exponential(2));
+  MigrationEngine engine(model);
+
+  Rng rng(61);
+  auto tm = score::testing::random_tm(32, 3.0, rng);
+  auto alloc = score::testing::random_allocation(topo, 32, rng);
+
+  RoundRobinPolicy rr;
+  ScoreSimulation sim(engine, rr, alloc, tm);
+  const auto res = sim.run();
+  EXPECT_LT(res.final_cost, res.initial_cost);
+  EXPECT_GT(res.reduction(), 0.3);
+  EXPECT_TRUE(alloc.check_consistency());
+}
+
+TEST(LeafSpine, MigrationDeltaPropertyHolds) {
+  // Lemma 3 is topology-generic; verify on the two-tier hierarchy too.
+  LeafSpine topo(small_ls());
+  CostModel model(topo, LinkWeights::exponential(2));
+  Rng rng(62);
+  auto tm = score::testing::random_tm(20, 2.0, rng);
+  auto alloc = score::testing::random_allocation(topo, 20, rng);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto u = static_cast<score::core::VmId>(rng.index(20));
+    const auto target =
+        static_cast<score::core::ServerId>(rng.index(topo.num_hosts()));
+    if (!alloc.can_host(target, alloc.spec(u))) continue;
+    const double before = model.total_cost(alloc, tm);
+    const double delta = model.migration_delta(alloc, tm, u, target);
+    auto moved = alloc;
+    moved.migrate(u, target);
+    EXPECT_NEAR(delta, before - model.total_cost(moved, tm),
+                1e-7 * (1.0 + before));
+    if (trial % 2 == 0) alloc = std::move(moved);
+  }
+}
+
+TEST(LeafSpine, HlfTokenLevelsCapAtTwo) {
+  LeafSpine topo(small_ls());
+  CostModel model(topo, LinkWeights::exponential(2));
+  Rng rng(63);
+  auto tm = score::testing::random_tm(16, 3.0, rng);
+  auto alloc = score::testing::random_allocation(topo, 16, rng);
+  score::core::HighestLevelFirstPolicy hlf;
+  hlf.start(16);
+  for (score::core::VmId u = 0; u < 16; ++u) {
+    hlf.observe(model, alloc, tm, u);
+    EXPECT_LE(hlf.token_level(u), 2);
+  }
+}
+
+}  // namespace

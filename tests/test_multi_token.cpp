@@ -1,0 +1,144 @@
+// Multi-token extension tests: monotone cost under concurrent tokens, the
+// k=1 case degenerating to the paper's single-token Round-Robin, wall-clock
+// speed-up with more tokens, and bookkeeping invariants.
+#include <gtest/gtest.h>
+
+#include "core/multi_token.hpp"
+#include "core/token_policy.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using score::core::CostModel;
+using score::core::LinkWeights;
+using score::core::MigrationEngine;
+using score::core::MultiTokenConfig;
+using score::core::MultiTokenSimulation;
+using score::core::RoundRobinPolicy;
+using score::core::ScoreSimulation;
+using score::core::SimConfig;
+using score::testing::random_allocation;
+using score::testing::random_tm;
+using score::testing::tiny_tree_config;
+using score::topo::CanonicalTree;
+using score::util::Rng;
+
+class MultiTokenTest : public ::testing::Test {
+ protected:
+  MultiTokenTest()
+      : topo_(tiny_tree_config()), model_(topo_, LinkWeights::exponential(3)),
+        engine_(model_) {}
+
+  CanonicalTree topo_;
+  CostModel model_;
+  MigrationEngine engine_;
+};
+
+TEST_F(MultiTokenTest, SingleTokenMatchesScoreSimulation) {
+  Rng rng(50);
+  auto tm = random_tm(48, 3.0, rng);
+  auto alloc_single = random_allocation(topo_, 48, rng);
+  auto alloc_multi = alloc_single;
+
+  RoundRobinPolicy rr;
+  ScoreSimulation ref(engine_, rr, alloc_single, tm);
+  SimConfig scfg;
+  scfg.iterations = 6;
+  const auto ref_res = ref.run(scfg);
+
+  MultiTokenConfig mcfg;
+  mcfg.tokens = 1;
+  mcfg.iterations = 6;
+  MultiTokenSimulation multi(engine_, alloc_multi, tm);
+  const auto multi_res = multi.run(mcfg);
+
+  // Identical visit order and decision rule -> identical final allocation.
+  EXPECT_DOUBLE_EQ(multi_res.final_cost, ref_res.final_cost);
+  EXPECT_EQ(multi_res.total_migrations, ref_res.total_migrations);
+  for (score::core::VmId u = 0; u < 48; ++u) {
+    EXPECT_EQ(alloc_multi.server_of(u), alloc_single.server_of(u));
+  }
+}
+
+class MultiTokenParam : public MultiTokenTest,
+                        public ::testing::WithParamInterface<std::size_t> {};
+
+TEST_P(MultiTokenParam, CostMonotoneAndConsistent) {
+  Rng rng(51);
+  auto tm = random_tm(64, 3.0, rng);
+  auto alloc = random_allocation(topo_, 64, rng);
+  MultiTokenConfig cfg;
+  cfg.tokens = GetParam();
+  MultiTokenSimulation sim(engine_, alloc, tm);
+  const auto res = sim.run(cfg);
+
+  for (std::size_t i = 1; i < res.series.size(); ++i) {
+    EXPECT_LE(res.series[i].cost, res.series[i - 1].cost + 1e-9);
+  }
+  EXPECT_NEAR(res.final_cost, model_.total_cost(alloc, tm),
+              1e-7 * (1.0 + res.final_cost));
+  EXPECT_TRUE(alloc.check_consistency());
+  EXPECT_GT(res.reduction(), 0.2);
+}
+
+TEST_P(MultiTokenParam, EveryVmHeldOncePerPass) {
+  Rng rng(52);
+  auto tm = random_tm(40, 2.0, rng);
+  auto alloc = random_allocation(topo_, 40, rng);
+  MultiTokenConfig cfg;
+  cfg.tokens = GetParam();
+  cfg.iterations = 3;
+  cfg.stop_when_stable = false;
+  MultiTokenSimulation sim(engine_, alloc, tm);
+  const auto res = sim.run(cfg);
+  ASSERT_EQ(res.iterations.size(), 3u);
+  for (const auto& it : res.iterations) EXPECT_EQ(it.holds, 40u);
+}
+
+INSTANTIATE_TEST_SUITE_P(TokenCounts, MultiTokenParam,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST_F(MultiTokenTest, MoreTokensConvergeFasterInSimulatedTime) {
+  Rng rng(53);
+  auto tm = random_tm(64, 3.0, rng);
+  auto alloc1 = random_allocation(topo_, 64, rng);
+  auto alloc8 = alloc1;
+
+  MultiTokenConfig one;
+  one.tokens = 1;
+  const auto res1 = MultiTokenSimulation(engine_, alloc1, tm).run(one);
+
+  MultiTokenConfig eight;
+  eight.tokens = 8;
+  const auto res8 = MultiTokenSimulation(engine_, alloc8, tm).run(eight);
+
+  // Wall-clock shrinks substantially (token holds overlap); quality holds.
+  EXPECT_LT(res8.duration_s, 0.5 * res1.duration_s);
+  EXPECT_NEAR(res8.final_cost, res1.final_cost, 0.35 * res1.final_cost + 1e-9);
+}
+
+TEST_F(MultiTokenTest, MoreTokensThanVmsClamped) {
+  Rng rng(54);
+  auto tm = random_tm(6, 2.0, rng);
+  auto alloc = random_allocation(topo_, 6, rng);
+  MultiTokenConfig cfg;
+  cfg.tokens = 100;
+  MultiTokenSimulation sim(engine_, alloc, tm);
+  const auto res = sim.run(cfg);
+  EXPECT_TRUE(alloc.check_consistency());
+  EXPECT_LE(res.final_cost, res.initial_cost + 1e-9);
+}
+
+TEST_F(MultiTokenTest, StableStopWorks) {
+  Rng rng(55);
+  auto tm = random_tm(24, 2.0, rng);
+  auto alloc = random_allocation(topo_, 24, rng);
+  MultiTokenConfig cfg;
+  cfg.tokens = 4;
+  cfg.iterations = 50;
+  const auto res = MultiTokenSimulation(engine_, alloc, tm).run(cfg);
+  EXPECT_LT(res.iterations.size(), 50u);
+  EXPECT_EQ(res.iterations.back().migrations, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,272 @@
+// Topology tests: structural counts, communication levels, routing validity
+// and ECMP behaviour for both the canonical tree and fat-tree, plus link-load
+// accounting. Parameterized sweeps cover multiple fat-tree arities and
+// canonical-tree shapes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/canonical_tree.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/link_load.hpp"
+
+namespace {
+
+using score::topo::CanonicalTree;
+using score::topo::CanonicalTreeConfig;
+using score::topo::FatTree;
+using score::topo::FatTreeConfig;
+using score::topo::HostId;
+using score::topo::Link;
+using score::topo::LinkId;
+using score::topo::LinkLoadMap;
+using score::topo::Topology;
+
+// Path validity shared by all routing tests: level sequence of a shortest
+// path must rise to the communication level then descend (1,2,3,3,2,1 for
+// level 3) and links must have positive capacity.
+void expect_valid_path(const Topology& topo, HostId a, HostId b,
+                       std::uint64_t hash) {
+  const auto path = topo.route(a, b, hash);
+  const int level = topo.comm_level(a, b);
+  ASSERT_EQ(path.size(), static_cast<std::size_t>(2 * level));
+  if (level == 0) return;
+  std::vector<int> levels;
+  for (LinkId l : path) {
+    levels.push_back(topo.links()[l].level);
+    EXPECT_GT(topo.links()[l].capacity_bps, 0.0);
+  }
+  // Expected: 1, 2, ..., level, level, ..., 2, 1
+  for (int i = 0; i < level; ++i) {
+    EXPECT_EQ(levels[static_cast<std::size_t>(i)], i + 1);
+    EXPECT_EQ(levels[path.size() - 1 - static_cast<std::size_t>(i)], i + 1);
+  }
+}
+
+// ------------------------------------------------------------ CanonicalTree
+
+TEST(CanonicalTree, PaperScaleDimensions) {
+  CanonicalTree topo(CanonicalTreeConfig::paper_scale());
+  EXPECT_EQ(topo.num_hosts(), 2560u);
+  EXPECT_EQ(topo.num_racks(), 128u);
+  EXPECT_EQ(topo.num_aggs(), 16u);
+  EXPECT_EQ(topo.num_pods(), 16u);
+}
+
+TEST(CanonicalTree, LinkInventoryCounts) {
+  CanonicalTree topo(CanonicalTreeConfig::small_scale());
+  // 16 racks x 5 hosts = 80 level-1, 16 level-2, 4 aggs x 2 cores = 8 level-3.
+  std::size_t l1 = 0, l2 = 0, l3 = 0;
+  for (const Link& l : topo.links()) {
+    if (l.level == 1) ++l1;
+    if (l.level == 2) ++l2;
+    if (l.level == 3) ++l3;
+  }
+  EXPECT_EQ(l1, 80u);
+  EXPECT_EQ(l2, 16u);
+  EXPECT_EQ(l3, 8u);
+  EXPECT_EQ(topo.links().size(), 104u);
+}
+
+TEST(CanonicalTree, RackAndPodAssignment) {
+  CanonicalTree topo(CanonicalTreeConfig::small_scale());
+  EXPECT_EQ(topo.rack_of(0), 0);
+  EXPECT_EQ(topo.rack_of(4), 0);
+  EXPECT_EQ(topo.rack_of(5), 1);
+  EXPECT_EQ(topo.pod_of(0), 0);
+  EXPECT_EQ(topo.pod_of(5 * 4), 1);  // rack 4 is the first of pod 1
+}
+
+TEST(CanonicalTree, CommLevels) {
+  CanonicalTree topo(CanonicalTreeConfig::small_scale());
+  EXPECT_EQ(topo.comm_level(0, 0), 0);   // same host
+  EXPECT_EQ(topo.comm_level(0, 1), 1);   // same rack
+  EXPECT_EQ(topo.comm_level(0, 5), 2);   // rack 1, same pod
+  EXPECT_EQ(topo.comm_level(0, 19), 2);  // rack 3, last rack of pod 0
+  EXPECT_EQ(topo.comm_level(0, 20), 3);  // rack 4 is the first rack of pod 1
+}
+
+TEST(CanonicalTree, CommLevelAcrossCore) {
+  CanonicalTree topo(CanonicalTreeConfig::small_scale());
+  // Host 0 (pod 0) vs a host in the last rack (rack 15, pod 3).
+  const HostId far = 15 * 5;
+  EXPECT_EQ(topo.comm_level(0, far), 3);
+  EXPECT_EQ(topo.hop_count(0, far), 6);
+}
+
+TEST(CanonicalTree, CommLevelSymmetry) {
+  CanonicalTree topo(CanonicalTreeConfig::small_scale());
+  for (HostId a = 0; a < topo.num_hosts(); a += 7) {
+    for (HostId b = 0; b < topo.num_hosts(); b += 11) {
+      EXPECT_EQ(topo.comm_level(a, b), topo.comm_level(b, a));
+    }
+  }
+}
+
+TEST(CanonicalTree, RoutesAreValidShortestPaths) {
+  CanonicalTree topo(CanonicalTreeConfig::small_scale());
+  expect_valid_path(topo, 0, 0, 0);
+  expect_valid_path(topo, 0, 1, 0);
+  expect_valid_path(topo, 0, 5, 1);
+  expect_valid_path(topo, 0, 75, 2);
+  expect_valid_path(topo, 3, 42, 12345);
+}
+
+TEST(CanonicalTree, EcmpDeterministicPerHash) {
+  CanonicalTree topo(CanonicalTreeConfig::small_scale());
+  const HostId a = 0, b = 75;  // inter-pod
+  EXPECT_EQ(topo.route(a, b, 42), topo.route(a, b, 42));
+}
+
+TEST(CanonicalTree, EcmpSpreadsAcrossCores) {
+  CanonicalTree topo(CanonicalTreeConfig::small_scale());
+  std::set<std::vector<LinkId>> distinct;
+  for (std::uint64_t h = 0; h < 16; ++h) distinct.insert(topo.route(0, 75, h));
+  EXPECT_EQ(distinct.size(), topo.num_cores());
+}
+
+TEST(CanonicalTree, RejectsDegenerateConfig) {
+  CanonicalTreeConfig c;
+  c.racks = 0;
+  EXPECT_THROW(CanonicalTree{c}, std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- FatTree
+
+TEST(FatTree, PaperScaleDimensions) {
+  FatTree topo(FatTreeConfig::paper_scale());
+  EXPECT_EQ(topo.k(), 16u);
+  EXPECT_EQ(topo.num_hosts(), 1024u);  // k^3/4
+  EXPECT_EQ(topo.num_racks(), 128u);   // k * k/2 edge switches
+  EXPECT_EQ(topo.num_pods(), 16u);
+  EXPECT_EQ(topo.num_cores(), 64u);    // (k/2)^2
+}
+
+TEST(FatTree, RejectsOddK) {
+  EXPECT_THROW(FatTree(FatTreeConfig{.k = 5}), std::invalid_argument);
+  EXPECT_THROW(FatTree(FatTreeConfig{.k = 0}), std::invalid_argument);
+}
+
+class FatTreeParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FatTreeParam, StructuralCounts) {
+  const std::size_t k = GetParam();
+  FatTree topo(FatTreeConfig{.k = k});
+  EXPECT_EQ(topo.num_hosts(), k * k * k / 4);
+  EXPECT_EQ(topo.num_racks(), k * k / 2);
+  EXPECT_EQ(topo.num_pods(), k);
+  EXPECT_EQ(topo.num_cores(), (k / 2) * (k / 2));
+  std::size_t l1 = 0, l2 = 0, l3 = 0;
+  for (const Link& l : topo.links()) {
+    if (l.level == 1) ++l1;
+    if (l.level == 2) ++l2;
+    if (l.level == 3) ++l3;
+  }
+  EXPECT_EQ(l1, topo.num_hosts());
+  EXPECT_EQ(l2, k * (k / 2) * (k / 2));
+  EXPECT_EQ(l3, k * (k / 2) * (k / 2));
+}
+
+TEST_P(FatTreeParam, AllPairLevelsValidAndSymmetric) {
+  const std::size_t k = GetParam();
+  FatTree topo(FatTreeConfig{.k = k});
+  const std::size_t stride = topo.num_hosts() > 64 ? 7 : 1;
+  for (HostId a = 0; a < topo.num_hosts(); a += stride) {
+    for (HostId b = 0; b < topo.num_hosts(); b += stride) {
+      const int lvl = topo.comm_level(a, b);
+      EXPECT_GE(lvl, 0);
+      EXPECT_LE(lvl, 3);
+      EXPECT_EQ(lvl, topo.comm_level(b, a));
+      if (a != b) {
+        EXPECT_GE(lvl, 1);
+      }
+    }
+  }
+}
+
+TEST_P(FatTreeParam, RoutesValidForAllLevels) {
+  const std::size_t k = GetParam();
+  FatTree topo(FatTreeConfig{.k = k});
+  const std::size_t half = k / 2;
+  const HostId same_rack = 1;
+  const HostId same_pod = static_cast<HostId>(half);        // next edge switch
+  const HostId other_pod = static_cast<HostId>(half * half);  // first host of pod 1
+  ASSERT_EQ(topo.comm_level(0, same_rack), 1);
+  ASSERT_EQ(topo.comm_level(0, same_pod), 2);
+  ASSERT_EQ(topo.comm_level(0, other_pod), 3);
+  for (std::uint64_t h : {0ull, 1ull, 999ull}) {
+    expect_valid_path(topo, 0, same_rack, h);
+    expect_valid_path(topo, 0, same_pod, h);
+    expect_valid_path(topo, 0, other_pod, h);
+  }
+}
+
+TEST_P(FatTreeParam, EcmpUsesAllCorePaths) {
+  const std::size_t k = GetParam();
+  FatTree topo(FatTreeConfig{.k = k});
+  const HostId other_pod = static_cast<HostId>((k / 2) * (k / 2));
+  std::set<std::vector<LinkId>> distinct;
+  for (std::uint64_t h = 0; h < 4 * topo.num_cores(); ++h) {
+    distinct.insert(topo.route(0, other_pod, h));
+  }
+  // Inter-pod flows can traverse every core switch.
+  EXPECT_EQ(distinct.size(), topo.num_cores());
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, FatTreeParam, ::testing::Values(4, 6, 8));
+
+// ---------------------------------------------------------------- LinkLoad
+
+TEST(LinkLoad, AccumulatesAlongRoute) {
+  CanonicalTree topo(CanonicalTreeConfig::small_scale());
+  LinkLoadMap loads(topo);
+  loads.add_flow(0, 1, 5e8, 0);  // same rack: both host uplinks
+  EXPECT_DOUBLE_EQ(loads.load_bps(topo.host_uplink(0)), 5e8);
+  EXPECT_DOUBLE_EQ(loads.load_bps(topo.host_uplink(1)), 5e8);
+  EXPECT_DOUBLE_EQ(loads.utilization(topo.host_uplink(0)), 0.5);
+}
+
+TEST(LinkLoad, SameHostFlowLoadsNothing) {
+  CanonicalTree topo(CanonicalTreeConfig::small_scale());
+  LinkLoadMap loads(topo);
+  loads.add_flow(3, 3, 1e9, 0);
+  for (const Link& l : topo.links()) EXPECT_DOUBLE_EQ(loads.load_bps(l.id), 0.0);
+}
+
+TEST(LinkLoad, LevelFilteredUtilizations) {
+  CanonicalTree topo(CanonicalTreeConfig::small_scale());
+  LinkLoadMap loads(topo);
+  loads.add_flow(0, 75, 1e9, 7);  // crosses the core
+  const auto core = loads.utilizations_at_level(3);
+  double total = 0.0;
+  for (double u : core) total += u;
+  EXPECT_NEAR(total, 2.0 * 1e9 / 10e9, 1e-12);  // two core links at 10G
+  EXPECT_EQ(core.size(), 8u);
+}
+
+TEST(LinkLoad, MaxUtilizationByLevel) {
+  CanonicalTree topo(CanonicalTreeConfig::small_scale());
+  LinkLoadMap loads(topo);
+  loads.add_flow(0, 1, 8e8, 0);
+  EXPECT_DOUBLE_EQ(loads.max_utilization(1), 0.8);
+  EXPECT_DOUBLE_EQ(loads.max_utilization(3), 0.0);
+  EXPECT_DOUBLE_EQ(loads.max_utilization(), 0.8);
+}
+
+TEST(LinkLoad, ClearResets) {
+  CanonicalTree topo(CanonicalTreeConfig::small_scale());
+  LinkLoadMap loads(topo);
+  loads.add_flow(0, 1, 1e9, 0);
+  loads.clear();
+  EXPECT_DOUBLE_EQ(loads.max_utilization(), 0.0);
+}
+
+TEST(LinkLoad, NegativeRateRemovesLoad) {
+  CanonicalTree topo(CanonicalTreeConfig::small_scale());
+  LinkLoadMap loads(topo);
+  loads.add_flow(0, 1, 1e9, 0);
+  loads.add_flow(0, 1, -1e9, 0);
+  EXPECT_NEAR(loads.max_utilization(), 0.0, 1e-12);
+}
+
+}  // namespace

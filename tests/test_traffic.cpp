@@ -1,0 +1,193 @@
+// Traffic-matrix and generator tests: symmetry, sparsity, scaling (the
+// paper's ×10/×50 intensities), determinism and the long-tail byte share.
+#include <gtest/gtest.h>
+
+#include "traffic/generator.hpp"
+#include "traffic/traffic_matrix.hpp"
+
+namespace {
+
+using score::traffic::generate_traffic;
+using score::traffic::GeneratorConfig;
+using score::traffic::Intensity;
+using score::traffic::intensity_scale;
+using score::traffic::top_pair_byte_share;
+using score::traffic::TrafficMatrix;
+using score::traffic::VmId;
+
+TEST(TrafficMatrix, SetAndGetSymmetric) {
+  TrafficMatrix tm(4);
+  tm.set(0, 1, 10.0);
+  EXPECT_DOUBLE_EQ(tm.rate(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(tm.rate(1, 0), 10.0);
+  EXPECT_DOUBLE_EQ(tm.rate(0, 2), 0.0);
+}
+
+TEST(TrafficMatrix, SetOverwrites) {
+  TrafficMatrix tm(3);
+  tm.set(0, 1, 10.0);
+  tm.set(0, 1, 4.0);
+  EXPECT_DOUBLE_EQ(tm.rate(1, 0), 4.0);
+  EXPECT_EQ(tm.num_pairs(), 1u);
+}
+
+TEST(TrafficMatrix, SetZeroRemovesPair) {
+  TrafficMatrix tm(3);
+  tm.set(0, 1, 10.0);
+  tm.set(0, 1, 0.0);
+  EXPECT_EQ(tm.num_pairs(), 0u);
+  EXPECT_TRUE(tm.neighbors(0).empty());
+  EXPECT_TRUE(tm.neighbors(1).empty());
+}
+
+TEST(TrafficMatrix, AddAccumulates) {
+  TrafficMatrix tm(3);
+  tm.add(0, 1, 3.0);
+  tm.add(1, 0, 2.0);
+  EXPECT_DOUBLE_EQ(tm.rate(0, 1), 5.0);
+}
+
+TEST(TrafficMatrix, RejectsSelfAndNegative) {
+  TrafficMatrix tm(3);
+  EXPECT_THROW(tm.set(1, 1, 5.0), std::invalid_argument);
+  EXPECT_THROW(tm.set(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(TrafficMatrix, NeighborsListsBothEndpoints) {
+  TrafficMatrix tm(4);
+  tm.set(0, 1, 1.0);
+  tm.set(0, 2, 2.0);
+  EXPECT_EQ(tm.neighbors(0).size(), 2u);
+  EXPECT_EQ(tm.neighbors(1).size(), 1u);
+  EXPECT_EQ(tm.neighbors(3).size(), 0u);
+}
+
+TEST(TrafficMatrix, TotalLoadCountsPairsOnce) {
+  TrafficMatrix tm(4);
+  tm.set(0, 1, 1.0);
+  tm.set(2, 3, 2.0);
+  EXPECT_DOUBLE_EQ(tm.total_load(), 3.0);
+  EXPECT_EQ(tm.num_pairs(), 2u);
+}
+
+TEST(TrafficMatrix, ScaleMultipliesAllRates) {
+  TrafficMatrix tm(3);
+  tm.set(0, 1, 1.0);
+  tm.set(1, 2, 2.0);
+  tm.scale(10.0);
+  EXPECT_DOUBLE_EQ(tm.rate(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(tm.rate(1, 2), 20.0);
+  EXPECT_THROW(tm.scale(-1.0), std::invalid_argument);
+}
+
+TEST(TrafficMatrix, PairsSortedAndUnique) {
+  TrafficMatrix tm(4);
+  tm.set(2, 1, 5.0);
+  tm.set(0, 3, 1.0);
+  auto pairs = tm.pairs();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(std::get<0>(pairs[0]), 0u);
+  EXPECT_EQ(std::get<1>(pairs[0]), 3u);
+  EXPECT_EQ(std::get<0>(pairs[1]), 1u);
+  EXPECT_EQ(std::get<1>(pairs[1]), 2u);
+}
+
+// ------------------------------------------------------------------ generator
+
+TEST(Generator, DeterministicForSeed) {
+  GeneratorConfig cfg;
+  cfg.num_vms = 128;
+  auto a = generate_traffic(cfg);
+  auto b = generate_traffic(cfg);
+  EXPECT_EQ(a.pairs(), b.pairs());
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorConfig cfg;
+  cfg.num_vms = 128;
+  auto a = generate_traffic(cfg);
+  cfg.seed = 1001;
+  auto b = generate_traffic(cfg);
+  EXPECT_NE(a.pairs(), b.pairs());
+}
+
+TEST(Generator, RatesArePositive) {
+  GeneratorConfig cfg;
+  cfg.num_vms = 200;
+  auto tm = generate_traffic(cfg);
+  for (const auto& [u, v, r] : tm.pairs()) {
+    (void)u;
+    (void)v;
+    EXPECT_GT(r, 0.0);
+  }
+}
+
+TEST(Generator, MatrixIsSparse) {
+  GeneratorConfig cfg;
+  cfg.num_vms = 256;
+  auto tm = generate_traffic(cfg);
+  const double max_pairs = 256.0 * 255.0 / 2.0;
+  // Paper: "the TM is sparse"; typical VM degree is a handful of peers.
+  EXPECT_LT(static_cast<double>(tm.num_pairs()) / max_pairs, 0.06);
+  EXPECT_GT(tm.num_pairs(), 100u);
+}
+
+TEST(Generator, MostVmsCommunicate) {
+  GeneratorConfig cfg;
+  cfg.num_vms = 256;
+  auto tm = generate_traffic(cfg);
+  std::size_t connected = 0;
+  for (VmId u = 0; u < tm.num_vms(); ++u) {
+    if (!tm.neighbors(u).empty()) ++connected;
+  }
+  EXPECT_GT(connected, 200u);
+}
+
+TEST(Generator, LongTailByteShare) {
+  GeneratorConfig cfg;
+  cfg.num_vms = 512;
+  auto tm = generate_traffic(cfg);
+  // Paper §V-C: "most bytes are transferred ... in a relatively small set of
+  // very large flows (elephants)". Top 10% of pairs must carry >60% of bytes.
+  EXPECT_GT(top_pair_byte_share(tm, 0.10), 0.6);
+  // And the bottom 90% still carries something (mice exist).
+  EXPECT_LT(top_pair_byte_share(tm, 0.10), 1.0);
+}
+
+TEST(Generator, IntensityScalesLinearly) {
+  GeneratorConfig cfg;
+  cfg.num_vms = 128;
+  auto sparse = generate_traffic(cfg, Intensity::kSparse);
+  auto medium = generate_traffic(cfg, Intensity::kMedium);
+  auto dense = generate_traffic(cfg, Intensity::kDense);
+  EXPECT_EQ(sparse.num_pairs(), medium.num_pairs());
+  EXPECT_EQ(sparse.num_pairs(), dense.num_pairs());
+  EXPECT_NEAR(medium.total_load() / sparse.total_load(), 10.0, 1e-9);
+  EXPECT_NEAR(dense.total_load() / sparse.total_load(), 50.0, 1e-9);
+}
+
+TEST(Generator, IntensityScaleFactors) {
+  EXPECT_DOUBLE_EQ(intensity_scale(Intensity::kSparse), 1.0);
+  EXPECT_DOUBLE_EQ(intensity_scale(Intensity::kMedium), 10.0);
+  EXPECT_DOUBLE_EQ(intensity_scale(Intensity::kDense), 50.0);
+}
+
+TEST(Generator, RejectsTinyFleet) {
+  GeneratorConfig cfg;
+  cfg.num_vms = 1;
+  EXPECT_THROW(generate_traffic(cfg), std::invalid_argument);
+}
+
+TEST(Generator, ServiceStructureCreatesClusters) {
+  GeneratorConfig cfg;
+  cfg.num_vms = 256;
+  cfg.cross_service_prob = 0.0;
+  auto tm = generate_traffic(cfg);
+  // With no cross-service chatter every VM's neighbourhood is bounded by its
+  // service size (well below the fleet).
+  for (VmId u = 0; u < tm.num_vms(); ++u) {
+    EXPECT_LT(tm.neighbors(u).size(), 2 * cfg.mean_service_size);
+  }
+}
+
+}  // namespace
