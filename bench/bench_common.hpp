@@ -8,9 +8,14 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/ga_optimizer.hpp"
@@ -108,6 +113,104 @@ inline Scenario make_scenario(bool fat_tree, traffic::Intensity intensity,
       *s.topology, cap, specs, baselines::PlacementStrategy::kRandom, rng));
   return s;
 }
+
+// --------------------------------------------------------------------------
+// Machine-readable results: every bench entry is one JSON object with the
+// common fields (suite, scenario, wall-time, cost reduction, migrations) plus
+// free-form numeric metrics. tools/bench_runner aggregates these into
+// BENCH_results.json so each PR can report a perf delta against the previous
+// trajectory file.
+// --------------------------------------------------------------------------
+
+struct BenchRecord {
+  std::string suite;     ///< e.g. "fig2-convergence"
+  std::string scenario;  ///< e.g. "canonical-tree/round-robin"
+  double wall_time_s = 0.0;          ///< harness wall-clock for this entry
+  double cost_reduction_pct = 0.0;   ///< 100 * (1 - final/initial)
+  std::size_t migrations = 0;
+  /// Extra numeric metrics (insertion order preserved in the JSON output).
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void metric(std::string name, double value) {
+    metrics.emplace_back(std::move(name), value);
+  }
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Collects BenchRecords and writes them as one JSON document:
+///   {"schema": "...", "scale": "...", "results": [ {...}, ... ]}
+class JsonReport {
+ public:
+  void add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  void write(std::ostream& os) const {
+    os << "{\n";
+    os << "  \"schema\": \"score-bench/v1\",\n";
+    os << "  \"scale\": \"" << (paper_scale() ? "paper" : "default") << "\",\n";
+    os << "  \"results\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      os << (i == 0 ? "\n" : ",\n");
+      os << "    {\"suite\": \"" << json_escape(r.suite) << "\", "
+         << "\"scenario\": \"" << json_escape(r.scenario) << "\", "
+         << "\"wall_time_s\": " << json_number(r.wall_time_s) << ", "
+         << "\"cost_reduction_pct\": " << json_number(r.cost_reduction_pct)
+         << ", \"migrations\": " << r.migrations;
+      for (const auto& [name, value] : r.metrics) {
+        os << ", \"" << json_escape(name) << "\": " << json_number(value);
+      }
+      os << "}";
+    }
+    os << "\n  ]\n}\n";
+  }
+
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+/// Monotonic wall-clock stopwatch for BenchRecord::wall_time_s.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 inline baselines::GaConfig ga_config() {
   baselines::GaConfig cfg;

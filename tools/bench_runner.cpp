@@ -1,0 +1,202 @@
+// bench_runner — curated benchmark subset with machine-readable output.
+//
+// Runs the three entries that anchor the perf trajectory — Fig. 2 token
+// convergence, Fig. 3 cost-ratio-over-GA on both topologies, and the
+// cost-model micro benchmark — and writes every result as JSON to
+// BENCH_results.json (override with --out). Each future PR reruns this and
+// diffs against the committed trajectory file to show its perf delta.
+//
+// Usage:
+//   bench_runner [--out FILE] [--quick]
+//
+//   --quick   shrink the GA normaliser budget so the whole run finishes in
+//             a few seconds (CI smoke); ratios are slightly noisier.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/token_policy.hpp"
+
+namespace {
+
+using namespace score;
+
+bool g_quick = false;
+
+baselines::GaConfig runner_ga_config() {
+  baselines::GaConfig cfg = bench::ga_config();
+  if (g_quick) {
+    cfg.population = 32;
+    cfg.max_generations = 60;
+    cfg.stop_window = 10;
+  }
+  return cfg;
+}
+
+// Fig. 2: ratio of migrated VMs per token-passing iteration, canonical tree,
+// both policies. The paper's claim: the ratio plummets after iteration 2.
+void run_fig2(bench::JsonReport& report) {
+  for (const std::string policy_name : {"round-robin", "highest-level-first"}) {
+    bench::Stopwatch sw;
+    auto s = bench::make_scenario(/*fat_tree=*/false, traffic::Intensity::kSparse);
+    core::MigrationEngine engine(*s.model);
+    auto policy = core::make_policy(policy_name);
+
+    core::SimConfig cfg;
+    cfg.iterations = 5;
+    cfg.stop_when_stable = false;
+    core::ScoreSimulation sim(engine, *policy, *s.alloc, s.tm);
+    const core::SimResult res = sim.run(cfg);
+
+    bench::BenchRecord rec;
+    rec.suite = "fig2-convergence";
+    rec.scenario = "canonical-tree/" + policy_name;
+    rec.wall_time_s = sw.elapsed_s();
+    rec.cost_reduction_pct = 100.0 * res.reduction();
+    rec.migrations = res.total_migrations;
+    for (std::size_t i = 0; i < res.iterations.size(); ++i) {
+      rec.metric("migrated_ratio_iter" + std::to_string(i + 1),
+                 res.iterations[i].migrated_ratio);
+    }
+    rec.metric("sim_duration_s", res.duration_s);
+    report.add(rec);
+    std::cerr << "[fig2] " << rec.scenario << ": reduction "
+              << rec.cost_reduction_pct << "%, " << rec.migrations
+              << " migrations in " << rec.wall_time_s << "s\n";
+  }
+}
+
+// Fig. 3: final communication-cost ratio over the GA-approximated optimum,
+// canonical tree and fat-tree, sparse intensity (the curated subset — the
+// full intensity sweep lives in bench_fig3_{canonical,fattree}).
+void run_fig3(bench::JsonReport& report) {
+  for (const bool fat_tree : {false, true}) {
+    const std::string topo_name = fat_tree ? "fat-tree" : "canonical-tree";
+    const std::uint64_t seed = 42;
+
+    bench::Stopwatch ga_sw;
+    auto ga_scenario = bench::make_scenario(fat_tree, traffic::Intensity::kSparse, seed);
+    baselines::GaOptimizer ga(*ga_scenario.model, runner_ga_config());
+    const auto ga_res = ga.optimize(*ga_scenario.alloc, ga_scenario.tm);
+    const double opt = ga_res.best_cost;
+    const double ga_time = ga_sw.elapsed_s();
+
+    for (const std::string policy_name : {"round-robin", "highest-level-first"}) {
+      bench::Stopwatch sw;
+      auto s = bench::make_scenario(fat_tree, traffic::Intensity::kSparse, seed);
+      core::MigrationEngine engine(*s.model);
+      auto policy = core::make_policy(policy_name);
+      core::SimConfig cfg;
+      cfg.iterations = 8;
+      core::ScoreSimulation sim(engine, *policy, *s.alloc, s.tm);
+      const core::SimResult res = sim.run(cfg);
+
+      bench::BenchRecord rec;
+      rec.suite = "fig3-cost-ratio";
+      rec.scenario = topo_name + "/sparse/" + policy_name;
+      rec.wall_time_s = sw.elapsed_s();
+      rec.cost_reduction_pct = 100.0 * res.reduction();
+      rec.migrations = res.total_migrations;
+      rec.metric("initial_ratio", opt > 0.0 ? res.initial_cost / opt : 0.0);
+      rec.metric("final_ratio", opt > 0.0 ? res.final_cost / opt : 0.0);
+      rec.metric("ga_cost", opt);
+      rec.metric("ga_time_s", ga_time);
+      report.add(rec);
+      std::cerr << "[fig3] " << rec.scenario << ": final ratio "
+                << (opt > 0.0 ? res.final_cost / opt : 0.0) << " in "
+                << rec.wall_time_s << "s\n";
+    }
+  }
+}
+
+// Micro benchmark: the three operations that bound per-token-hold work in
+// dom0. Reported as ns/call so regressions show up directly.
+void run_micro(bench::JsonReport& report) {
+  const std::size_t num_vms = 256;
+  topo::CanonicalTreeConfig tcfg;
+  tcfg.racks = 64;
+  tcfg.hosts_per_rack = 10;
+  tcfg.racks_per_pod = 8;
+  tcfg.cores = 4;
+  topo::CanonicalTree topology(tcfg);
+  core::CostModel model(topology, core::LinkWeights::exponential(3));
+
+  traffic::GeneratorConfig gen;
+  gen.num_vms = num_vms;
+  traffic::TrafficMatrix tm = traffic::generate_traffic(gen);
+
+  util::Rng rng(1);
+  core::ServerCapacity cap;
+  cap.vm_slots = 8;
+  cap.ram_mb = 8 * 256.0;
+  cap.cpu_cores = 8.0;
+  core::Allocation alloc = baselines::make_allocation(
+      topology, cap, num_vms, core::VmSpec{}, baselines::PlacementStrategy::kRandom, rng);
+  core::MigrationEngine engine(model);
+
+  const auto time_op = [&](const std::string& name, std::size_t reps,
+                           auto&& op) {
+    bench::Stopwatch sw;
+    double sink = 0.0;
+    for (std::size_t i = 0; i < reps; ++i) sink += op(i);
+    const double elapsed = sw.elapsed_s();
+
+    bench::BenchRecord rec;
+    rec.suite = "micro-cost-model";
+    rec.scenario = name;
+    rec.wall_time_s = elapsed;
+    rec.metric("ns_per_call", 1e9 * elapsed / static_cast<double>(reps));
+    rec.metric("calls", static_cast<double>(reps));
+    rec.metric("checksum", sink);  // defeats dead-code elimination
+    report.add(rec);
+    std::cerr << "[micro] " << name << ": "
+              << 1e9 * elapsed / static_cast<double>(reps) << " ns/call\n";
+  };
+
+  time_op("total_cost", g_quick ? 20 : 200,
+          [&](std::size_t) { return model.total_cost(alloc, tm); });
+  time_op("migration_delta", g_quick ? 2000 : 20000, [&](std::size_t i) {
+    const auto vm = static_cast<core::VmId>(i % num_vms);
+    return model.migration_delta(alloc, tm, vm,
+                                 (vm * 37) % topology.num_hosts());
+  });
+  time_op("engine_evaluate", g_quick ? 200 : 2000, [&](std::size_t i) {
+    const auto vm = static_cast<core::VmId>(i % num_vms);
+    return engine.evaluate(alloc, tm, vm).delta;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_results.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      g_quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_runner [--out FILE] [--quick]\n";
+      return 2;
+    }
+  }
+
+  score::bench::JsonReport report;
+  score::bench::Stopwatch total;
+  run_fig2(report);
+  run_fig3(report);
+  run_micro(report);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_runner: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  report.write(out);
+  std::cerr << "wrote " << report.size() << " results to " << out_path
+            << " in " << total.elapsed_s() << "s\n";
+  return 0;
+}
