@@ -20,6 +20,7 @@
 
 #include "baselines/ga_optimizer.hpp"
 #include "baselines/placement.hpp"
+#include "core/cached_cost_model.hpp"
 #include "core/cost_model.hpp"
 #include "core/metrics.hpp"
 #include "core/simulation.hpp"
@@ -32,9 +33,16 @@
 
 namespace score::bench {
 
+/// SCORE_BENCH_SCALE=paper rescales the shared scenario configs (and GA
+/// budget) to the paper's §VI sizes — overnight runs. Independent of
+/// bench_runner's --scale flag, which only adds the self-contained
+/// paper-scale suite to the trajectory.
 inline bool paper_scale() {
-  const char* env = std::getenv("SCORE_BENCH_SCALE");
-  return env != nullptr && std::string(env) == "paper";
+  static const bool paper = [] {
+    const char* env = std::getenv("SCORE_BENCH_SCALE");
+    return env != nullptr && std::string(env) == "paper";
+  }();
+  return paper;
 }
 
 inline topo::CanonicalTreeConfig canonical_config() {
@@ -67,9 +75,14 @@ inline std::size_t fleet_size(const topo::Topology& topology) {
 
 struct Scenario {
   std::unique_ptr<topo::Topology> topology;
-  std::unique_ptr<core::CostModel> model;
+  std::unique_ptr<core::CachedCostModel> model;
   traffic::TrafficMatrix tm{1};
   std::unique_ptr<core::Allocation> alloc;
+
+  /// Bind the cost cache to (alloc, tm). Call only once the Scenario sits in
+  /// its final location — the cache stores the addresses of `*alloc` and
+  /// `tm`, and `tm` lives inline, so binding before a move would dangle.
+  void bind_cache() { model->bind(*alloc, tm); }
 };
 
 inline Scenario make_scenario(bool fat_tree, traffic::Intensity intensity,
@@ -80,8 +93,8 @@ inline Scenario make_scenario(bool fat_tree, traffic::Intensity intensity,
   } else {
     s.topology = std::make_unique<topo::CanonicalTree>(canonical_config());
   }
-  s.model = std::make_unique<core::CostModel>(*s.topology,
-                                              core::LinkWeights::exponential(3));
+  s.model = std::make_unique<core::CachedCostModel>(
+      *s.topology, core::LinkWeights::exponential(3));
   traffic::GeneratorConfig gen;
   gen.num_vms = fleet_size(*s.topology);
   gen.seed = seed;
@@ -172,10 +185,17 @@ class JsonReport {
  public:
   void add(BenchRecord record) { records_.push_back(std::move(record)); }
 
+  /// Override the top-level "scale" field (bench_runner's --scale flag);
+  /// defaults to the process-wide bench scale.
+  void set_scale_label(std::string label) { scale_label_ = std::move(label); }
+
   void write(std::ostream& os) const {
     os << "{\n";
     os << "  \"schema\": \"score-bench/v1\",\n";
-    os << "  \"scale\": \"" << (paper_scale() ? "paper" : "default") << "\",\n";
+    os << "  \"scale\": \""
+       << (scale_label_.empty() ? (paper_scale() ? "paper" : "default")
+                                : scale_label_)
+       << "\",\n";
     os << "  \"results\": [";
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const BenchRecord& r = records_[i];
@@ -197,6 +217,7 @@ class JsonReport {
 
  private:
   std::vector<BenchRecord> records_;
+  std::string scale_label_;
 };
 
 /// Monotonic wall-clock stopwatch for BenchRecord::wall_time_s.

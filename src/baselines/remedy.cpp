@@ -154,7 +154,7 @@ RemedyResult Remedy::run(core::Allocation& alloc,
         }
 
         if (best_target != core::kInvalidServer) {
-          alloc.migrate(vm, best_target);
+          model_->apply_migration(alloc, tm, vm, best_target);
           result.migrated_bytes_mb += estimate_migrated_mb(spec.ram_mb);
           ++result.total_migrations;
           ++migrations_this_round;

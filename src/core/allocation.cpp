@@ -42,6 +42,7 @@ VmId Allocation::add_vm(const VmSpec& spec, ServerId server) {
   used_ram_[server] += spec.ram_mb;
   used_cpu_[server] += spec.cpu_cores;
   used_net_[server] += spec.net_bps;
+  ++version_;
   return id;
 }
 
@@ -67,6 +68,7 @@ void Allocation::migrate(VmId vm, ServerId target) {
   used_cpu_[target] += spec.cpu_cores;
   used_net_[target] += spec.net_bps;
   vm_server_[vm] = target;
+  ++version_;
 }
 
 bool Allocation::check_consistency() const {

@@ -8,6 +8,7 @@
 // extended with CPU and the bandwidth threshold of §V-C.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/types.hpp"
@@ -61,8 +62,15 @@ class Allocation {
   /// maintained state; returns false on any divergence or capacity violation.
   bool check_consistency() const;
 
+  /// Mutation counter: bumped by add_vm and by every migrate that actually
+  /// moves a VM (self-migrations are no-ops and do not count). CachedCostModel
+  /// compares it against the version it last synced with to detect
+  /// out-of-band mutations and rebuild instead of serving stale sums.
+  std::uint64_t version() const { return version_; }
+
  private:
   std::vector<ServerCapacity> capacities_;
+  std::uint64_t version_ = 0;
   std::vector<ServerId> vm_server_;
   std::vector<VmSpec> vm_spec_;
   std::vector<std::vector<VmId>> server_vms_;

@@ -1,0 +1,84 @@
+// Incremental communication-cost cache — Lemma 3 applied to bookkeeping.
+//
+// CostModel::total_cost re-walks every communicating pair (O(|V|·degree))
+// on each call, yet the paper's whole point is that migration effects are
+// local: moving u only changes the levels of pairs incident to u. This model
+// binds to one (Allocation, TrafficMatrix) instance and maintains
+//
+//   * vm_cost_[u]  — C^A(u), Eq. (1), for every VM, and
+//   * total_       — C^A,   Eq. (2),
+//
+// updating both in O(|Vu|) when a migration is routed through
+// apply_migration, so total_cost on the bound pair is O(1).
+//
+// Coherence contract (see ARCHITECTURE.md, "Incremental cost cache"):
+//   * Migrations committed through apply_migration are folded incrementally.
+//   * Out-of-band mutations (Allocation::migrate / add_vm called directly,
+//     TrafficMatrix set/add/scale) are detected via the version counters on
+//     both containers; the next query rebuilds the sums from scratch instead
+//     of serving stale data. Correctness never depends on callers remembering
+//     to route through the cache — only speed does.
+//   * Queries about a *different* allocation or TM (GA populations, exact-
+//     solver probes, copied allocations) fall back to the brute-force base.
+//   * Not thread-safe: one cache per driver/token-shard (the bound state is
+//     mutated from const methods).
+//
+// Configure with -DSCORE_CHECK_CACHE=ON to cross-verify the cached total
+// against brute-force Eq. (2) after every incremental update and on every
+// cached read; divergence beyond 1e-7 relative throws std::logic_error.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_model.hpp"
+
+namespace score::core {
+
+class CachedCostModel final : public CostModel {
+ public:
+  CachedCostModel(const topo::Topology& topology, LinkWeights weights)
+      : CostModel(topology, std::move(weights)) {}
+
+  /// Bind to an allocation/TM pair and build the sums (O(pairs) once).
+  /// Both must outlive the binding; rebind or unbind before destroying them.
+  void bind(const Allocation& alloc, const traffic::TrafficMatrix& tm);
+  void unbind();
+  bool bound() const { return alloc_ != nullptr; }
+  bool bound_to(const Allocation& alloc, const traffic::TrafficMatrix& tm) const {
+    return alloc_ == &alloc && tm_ == &tm;
+  }
+
+  /// O(1) on the bound pair (after resyncing if a version counter moved);
+  /// brute-force fallback otherwise.
+  double total_cost(const Allocation& alloc,
+                    const traffic::TrafficMatrix& tm) const override;
+
+  /// O(1) on the bound pair; brute-force fallback otherwise.
+  double vm_cost(const Allocation& alloc, const traffic::TrafficMatrix& tm,
+                 VmId u) const override;
+
+  /// Commits the migration and folds it into the sums in O(|Vu|).
+  void apply_migration(Allocation& alloc, const traffic::TrafficMatrix& tm,
+                       VmId u, ServerId target) const override;
+
+  /// Cache-effectiveness counters (bench/diagnostics).
+  std::uint64_t rebuilds() const { return rebuilds_; }
+  std::uint64_t incremental_updates() const { return incremental_updates_; }
+
+ private:
+  void rebuild() const;
+  void sync() const;         ///< rebuild iff a version counter moved
+  void verify_cache() const; ///< no-op unless SCORE_CHECK_CACHE
+
+  mutable const Allocation* alloc_ = nullptr;
+  mutable const traffic::TrafficMatrix* tm_ = nullptr;
+  mutable std::uint64_t alloc_version_ = 0;
+  mutable std::uint64_t tm_version_ = 0;
+  mutable double total_ = 0.0;
+  mutable std::vector<double> vm_cost_;
+  mutable std::uint64_t rebuilds_ = 0;
+  mutable std::uint64_t incremental_updates_ = 0;
+};
+
+}  // namespace score::core

@@ -24,6 +24,10 @@ class CostModel {
  public:
   CostModel(const topo::Topology& topology, LinkWeights weights)
       : topo_(&topology), weights_(std::move(weights)) {}
+  virtual ~CostModel() = default;
+
+  CostModel(const CostModel&) = default;
+  CostModel& operator=(const CostModel&) = default;
 
   const topo::Topology& topology() const { return *topo_; }
   const LinkWeights& weights() const { return weights_; }
@@ -43,16 +47,30 @@ class CostModel {
   }
 
   /// C^A(u), Eq. (1).
-  double vm_cost(const Allocation& alloc, const traffic::TrafficMatrix& tm,
-                 VmId u) const;
+  virtual double vm_cost(const Allocation& alloc, const traffic::TrafficMatrix& tm,
+                         VmId u) const;
 
   /// C^A, Eq. (2): every unordered pair counted once.
-  double total_cost(const Allocation& alloc, const traffic::TrafficMatrix& tm) const;
+  virtual double total_cost(const Allocation& alloc,
+                            const traffic::TrafficMatrix& tm) const;
 
   /// ΔC^A_{u→x̂} per Lemma 3 — positive when the migration lowers the global
   /// cost. O(|Vu|); does not modify the allocation.
   double migration_delta(const Allocation& alloc, const traffic::TrafficMatrix& tm,
                          VmId u, ServerId target) const;
+
+  /// Migrate u to `target` through the model. Every engine/driver routes
+  /// committed migrations through this hook so a derived cache (see
+  /// CachedCostModel) can fold the move into its sums in O(|Vu|) instead of
+  /// rebuilding. The base model just forwards to Allocation::migrate (throws
+  /// if the target cannot host u; self-migrations are no-ops). `const`
+  /// because callers hold the model const — only cache state, not the model's
+  /// parameters, may mutate underneath.
+  virtual void apply_migration(Allocation& alloc, const traffic::TrafficMatrix& tm,
+                               VmId u, ServerId target) const {
+    (void)tm;
+    alloc.migrate(u, target);
+  }
 
  private:
   const topo::Topology* topo_;

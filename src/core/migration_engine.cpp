@@ -81,7 +81,7 @@ Decision MigrationEngine::evaluate_and_apply(Allocation& alloc,
                                              const traffic::TrafficMatrix& tm,
                                              VmId u) const {
   Decision d = evaluate(alloc, tm, u);
-  if (d.migrate) alloc.migrate(u, d.target);
+  if (d.migrate) model_->apply_migration(alloc, tm, u, d.target);
   return d;
 }
 

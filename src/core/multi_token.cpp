@@ -70,7 +70,7 @@ SimResult MultiTokenSimulation::run(const MultiTokenConfig& config) {
             alloc_->spec(holder).ram_mb * 1e6 * config.precopy_factor;
         busy += bytes * 8.0 / config.migration_bandwidth_bps +
                 config.migration_overhead_s;
-        alloc_->migrate(holder, d.target);
+        model.apply_migration(*alloc_, *tm_, holder, d.target);
         cost -= d.delta;
         ++result.total_migrations;
         ++pass_migrations;

@@ -30,7 +30,7 @@ SimResult ScoreSimulation::run(const SimConfig& config) {
       const double bytes = alloc_->spec(holder).ram_mb * 1e6 * config.precopy_factor;
       busy += bytes * 8.0 / config.migration_bandwidth_bps +
               config.migration_overhead_s;
-      alloc_->migrate(holder, d.target);
+      model.apply_migration(*alloc_, *tm_, holder, d.target);
       cost -= d.delta;  // Lemma 3: the global cost drops by exactly ΔC
       ++result.total_migrations;
       ++iteration_migrations;

@@ -514,7 +514,7 @@ void DistributedScoreRuntime::Impl::Agent::on_capacities_complete() {
   // Theorem 1.
   if (have_best && best_delta > rt->cfg.engine.migration_cost) {
     const topo::HostId target = rt->ipam.host_of_address(best_dom0);
-    rt->alloc->migrate(u, target);
+    rt->model->apply_migration(*rt->alloc, *rt->tm, u, target);
     rt->ipam.move_vm(p.vm, target);
     finish_hold(true);
   } else {

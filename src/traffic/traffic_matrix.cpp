@@ -26,6 +26,7 @@ void TrafficMatrix::set(VmId u, VmId v, double rate) {
   if (rate < 0.0) throw std::invalid_argument("TrafficMatrix::set: negative rate");
   set_directed(u, v, rate);
   set_directed(v, u, rate);
+  ++version_;
 }
 
 void TrafficMatrix::add(VmId u, VmId v, double delta) {
@@ -64,6 +65,7 @@ void TrafficMatrix::scale(double factor) {
       rate *= factor;
     }
   }
+  ++version_;
 }
 
 std::vector<std::tuple<VmId, VmId, double>> TrafficMatrix::pairs() const {

@@ -48,10 +48,15 @@ class TrafficMatrix {
   /// All unordered pairs (u < v) with their rates, in deterministic order.
   std::vector<std::tuple<VmId, VmId, double>> pairs() const;
 
+  /// Mutation counter: bumped by set/add/scale. CachedCostModel uses it to
+  /// detect traffic drift (dynamics) and rebuild its per-VM sums.
+  std::uint64_t version() const { return version_; }
+
  private:
   void set_directed(VmId u, VmId v, double rate);
 
   std::vector<std::vector<std::pair<VmId, double>>> adj_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace score::traffic

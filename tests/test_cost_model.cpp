@@ -1,16 +1,20 @@
 // Cost-model tests: link-weight schemes, Eq. (1)/(2) consistency, pair-cost
 // arithmetic, and the paper's central correctness claim — the Lemma 3
 // migration delta equals the brute-force difference of Eq. (2) — verified as
-// a property over random instances on both topologies.
+// a property over random instances on both topologies. CachedCostModel must
+// agree with the brute-force model everywhere, including the self-migration
+// and zero-traffic edge cases.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "core/cached_cost_model.hpp"
 #include "helpers.hpp"
 
 namespace {
 
 using score::core::Allocation;
+using score::core::CachedCostModel;
 using score::core::CostModel;
 using score::core::LinkWeights;
 using score::core::ServerCapacity;
@@ -238,5 +242,153 @@ TEST_P(MigrationDeltaProperty, LocalDeltaEqualsGlobalDifference) {
 INSTANTIATE_TEST_SUITE_P(
     TopologiesAndWeights, MigrationDeltaProperty,
     ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1, 2)));
+
+// ----------------------------------------------------------- cached model
+
+class CachedCostModelTest : public ::testing::Test {
+ protected:
+  CachedCostModelTest()
+      : topo_(tiny_tree_config()),
+        brute_(topo_, LinkWeights::exponential(3)),
+        cached_(topo_, LinkWeights::exponential(3)) {}
+
+  CanonicalTree topo_;
+  CostModel brute_;
+  CachedCostModel cached_;
+};
+
+TEST_F(CachedCostModelTest, BoundTotalMatchesBruteForceExactly) {
+  Rng rng(21);
+  auto tm = random_tm(32, 3.0, rng);
+  auto alloc = random_allocation(topo_, 32, rng);
+  cached_.bind(alloc, tm);
+  // Freshly bound: bit-identical accumulation order, so exact equality.
+  EXPECT_EQ(cached_.total_cost(alloc, tm), brute_.total_cost(alloc, tm));
+  for (VmId u = 0; u < tm.num_vms(); ++u) {
+    EXPECT_DOUBLE_EQ(cached_.vm_cost(alloc, tm, u), brute_.vm_cost(alloc, tm, u));
+  }
+}
+
+TEST_F(CachedCostModelTest, ApplyMigrationFoldsDeltaIncrementally) {
+  Rng rng(22);
+  auto tm = random_tm(32, 3.0, rng);
+  auto alloc = random_allocation(topo_, 32, rng);
+  cached_.bind(alloc, tm);
+  const auto rebuilds_before = cached_.rebuilds();
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto u = static_cast<VmId>(rng.index(32));
+    const auto target = static_cast<ServerId>(rng.index(topo_.num_hosts()));
+    if (!alloc.can_host(target, alloc.spec(u)) &&
+        target != alloc.server_of(u)) {
+      continue;
+    }
+    const double before = cached_.total_cost(alloc, tm);
+    const double delta = cached_.migration_delta(alloc, tm, u, target);
+    cached_.apply_migration(alloc, tm, u, target);
+    const double after = cached_.total_cost(alloc, tm);
+    EXPECT_NEAR(after, before - delta, 1e-7 * (1.0 + std::abs(before)));
+    EXPECT_NEAR(after, brute_.total_cost(alloc, tm),
+                1e-7 * (1.0 + std::abs(after)));
+  }
+  // All updates went through the O(degree) path, not rebuilds.
+  EXPECT_EQ(cached_.rebuilds(), rebuilds_before);
+}
+
+TEST_F(CachedCostModelTest, SelfMigrationAgreesWithMigrationDelta) {
+  // Edge case: target == current server. migration_delta returns exactly 0
+  // and apply_migration must leave the cached sums untouched.
+  Rng rng(23);
+  auto tm = random_tm(16, 2.0, rng);
+  auto alloc = random_allocation(topo_, 16, rng);
+  cached_.bind(alloc, tm);
+  for (VmId u = 0; u < tm.num_vms(); ++u) {
+    const ServerId home = alloc.server_of(u);
+    EXPECT_DOUBLE_EQ(cached_.migration_delta(alloc, tm, u, home), 0.0);
+    const double before = cached_.total_cost(alloc, tm);
+    const double vm_before = cached_.vm_cost(alloc, tm, u);
+    const auto updates = cached_.incremental_updates();
+    cached_.apply_migration(alloc, tm, u, home);
+    EXPECT_EQ(cached_.total_cost(alloc, tm), before);
+    EXPECT_EQ(cached_.vm_cost(alloc, tm, u), vm_before);
+    EXPECT_EQ(cached_.incremental_updates(), updates);  // no-op, not an update
+    EXPECT_EQ(alloc.server_of(u), home);
+  }
+}
+
+TEST_F(CachedCostModelTest, ZeroTrafficVmAgreesWithMigrationDelta) {
+  // Edge case: a VM with no communicating peers. Its migration changes no
+  // pair level, so delta is 0 and the cached total must not move.
+  Allocation alloc(topo_.num_hosts(), ServerCapacity{});
+  TrafficMatrix tm(3);
+  const VmId a = alloc.add_vm(VmSpec{}, 0);
+  const VmId b = alloc.add_vm(VmSpec{}, 1);
+  const VmId quiet = alloc.add_vm(VmSpec{}, 2);
+  tm.set(a, b, 5.0);  // `quiet` has an empty neighbour set
+  cached_.bind(alloc, tm);
+  const double before = cached_.total_cost(alloc, tm);
+  const auto far = static_cast<ServerId>(topo_.num_hosts() - 1);
+  EXPECT_DOUBLE_EQ(cached_.migration_delta(alloc, tm, quiet, far), 0.0);
+  EXPECT_DOUBLE_EQ(brute_.migration_delta(alloc, tm, quiet, far), 0.0);
+  cached_.apply_migration(alloc, tm, quiet, far);
+  EXPECT_EQ(alloc.server_of(quiet), far);
+  EXPECT_EQ(cached_.total_cost(alloc, tm), before);
+  EXPECT_EQ(cached_.total_cost(alloc, tm), brute_.total_cost(alloc, tm));
+  EXPECT_DOUBLE_EQ(cached_.vm_cost(alloc, tm, quiet), 0.0);
+
+  // A zero-rate entry is removed from the TM entirely; the pair then behaves
+  // exactly like no traffic.
+  tm.set(a, b, 0.0);
+  EXPECT_DOUBLE_EQ(cached_.migration_delta(alloc, tm, a, far), 0.0);
+  EXPECT_DOUBLE_EQ(cached_.total_cost(alloc, tm), 0.0);
+}
+
+TEST_F(CachedCostModelTest, OutOfBandMutationsTriggerRebuild) {
+  Rng rng(24);
+  auto tm = random_tm(24, 3.0, rng);
+  auto alloc = random_allocation(topo_, 24, rng);
+  cached_.bind(alloc, tm);
+  ASSERT_EQ(cached_.total_cost(alloc, tm), brute_.total_cost(alloc, tm));
+
+  // Bypass the cache: mutate the allocation directly.
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto u = static_cast<VmId>(rng.index(24));
+    const auto target = static_cast<ServerId>(rng.index(topo_.num_hosts()));
+    if (alloc.can_host(target, alloc.spec(u))) alloc.migrate(u, target);
+  }
+  EXPECT_NEAR(cached_.total_cost(alloc, tm), brute_.total_cost(alloc, tm),
+              1e-9);
+
+  // Bypass the cache: mutate the traffic matrix (dynamics).
+  tm.add(0, 1, 7.5);
+  tm.scale(1.5);
+  EXPECT_NEAR(cached_.total_cost(alloc, tm), brute_.total_cost(alloc, tm),
+              1e-9);
+}
+
+TEST_F(CachedCostModelTest, ForeignAllocationFallsBackToBruteForce) {
+  Rng rng(25);
+  auto tm = random_tm(16, 2.0, rng);
+  auto alloc = random_allocation(topo_, 16, rng);
+  cached_.bind(alloc, tm);
+  // A copied allocation is a different object: queries about it must not be
+  // answered from the cache (GA populations, exact-solver probes do this).
+  Allocation copy = alloc;
+  ServerId target = score::core::kInvalidServer;
+  for (ServerId s = 0; s < topo_.num_hosts(); ++s) {
+    if (s != copy.server_of(0) && copy.can_host(s, copy.spec(0))) {
+      target = s;
+      break;
+    }
+  }
+  ASSERT_NE(target, score::core::kInvalidServer);
+  copy.migrate(0, target);
+  EXPECT_EQ(cached_.total_cost(copy, tm), brute_.total_cost(copy, tm));
+  // The bound pair is unaffected by the foreign query.
+  EXPECT_EQ(cached_.total_cost(alloc, tm), brute_.total_cost(alloc, tm));
+  // And committing through the cache for a foreign pair degrades gracefully.
+  Allocation copy2 = alloc;
+  cached_.apply_migration(copy2, tm, 0, target);
+  EXPECT_EQ(copy2.server_of(0), target);
+}
 
 }  // namespace

@@ -1,14 +1,20 @@
 // Randomized property tests against reference oracles:
 //  * the flow table vs. a simple std::map model under random CRUD traffic,
 //  * the token codecs vs. random entry sets,
+//  * CachedCostModel vs. brute-force Eq. (2) under random migration
+//    sequences interleaved with out-of-band allocation/TM mutations,
 //  * paper-scale topology construction invariants (2560-host canonical tree,
 //    k = 16 fat-tree) — cheap to build, worth pinning down.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "core/allocation.hpp"
+#include "core/cached_cost_model.hpp"
+#include "helpers.hpp"
 #include "hypervisor/flow_table.hpp"
 #include "hypervisor/token_codec.hpp"
 #include "topology/canonical_tree.hpp"
@@ -123,6 +129,67 @@ TEST_P(CodecFuzz, RandomTokensRoundTrip) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Values(11, 22, 33));
+
+// ------------------------------------------------------- cached cost model
+
+// Property: across a long randomized migration sequence, the incrementally
+// maintained CachedCostModel total always equals brute-force
+// CostModel::total_cost — including when migrations bypass apply_migration
+// (direct Allocation::migrate) or the TM drifts (set/add/scale), which the
+// cache must absorb via version-triggered rebuilds. Runs on both topologies.
+class CachedCostFuzz
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(CachedCostFuzz, TotalAlwaysMatchesBruteForce) {
+  const auto [topo_kind, seed] = GetParam();
+  std::unique_ptr<score::topo::Topology> topo;
+  if (topo_kind == 0) {
+    topo = std::make_unique<score::topo::CanonicalTree>(
+        score::testing::tiny_tree_config());
+  } else {
+    topo = std::make_unique<score::topo::FatTree>(
+        score::topo::FatTreeConfig{.k = 4});
+  }
+  score::core::CostModel brute(*topo, score::core::LinkWeights::exponential(3));
+  score::core::CachedCostModel cached(*topo,
+                                      score::core::LinkWeights::exponential(3));
+
+  Rng rng(seed);
+  const std::size_t n = 32;
+  auto tm = score::testing::random_tm(n, 3.0, rng);
+  auto alloc = score::testing::random_allocation(*topo, n, rng);
+  cached.bind(alloc, tm);
+
+  for (int op = 0; op < 600; ++op) {
+    const auto u = static_cast<score::core::VmId>(rng.index(n));
+    const auto target =
+        static_cast<score::core::ServerId>(rng.index(topo->num_hosts()));
+    const int action = static_cast<int>(rng.index(10));
+    if (action < 6) {  // the hot path: committed via the cache
+      if (target == alloc.server_of(u) || alloc.can_host(target, alloc.spec(u))) {
+        cached.apply_migration(alloc, tm, u, target);
+      }
+    } else if (action < 8) {  // out-of-band allocation mutation
+      if (alloc.can_host(target, alloc.spec(u))) alloc.migrate(u, target);
+    } else if (action < 9) {  // traffic drift
+      const auto v = static_cast<score::traffic::VmId>(rng.index(n));
+      if (v != u) tm.set(u, v, rng.uniform(0.0, 50.0));
+    } else {
+      tm.scale(rng.uniform(0.5, 1.5));
+    }
+    const double expect = brute.total_cost(alloc, tm);
+    EXPECT_NEAR(cached.total_cost(alloc, tm), expect,
+                1e-7 * (1.0 + std::abs(expect)))
+        << "op=" << op;
+  }
+  // The sequence must have exercised both the incremental path and rebuilds.
+  EXPECT_GT(cached.incremental_updates(), 0u);
+  EXPECT_GT(cached.rebuilds(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopologiesAndSeeds, CachedCostFuzz,
+    ::testing::Combine(::testing::Values(0, 1), ::testing::Values(7u, 77u)));
 
 // ------------------------------------------------------------ paper scale
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/placement.hpp"
+#include "core/cached_cost_model.hpp"
 #include "core/simulation.hpp"
 #include "core/token_policy.hpp"
 #include "hypervisor/token_codec.hpp"
@@ -18,6 +19,7 @@ namespace {
 using score::baselines::make_allocation;
 using score::baselines::PlacementStrategy;
 using score::core::Allocation;
+using score::core::CachedCostModel;
 using score::core::CostModel;
 using score::core::LinkWeights;
 using score::core::MigrationEngine;
@@ -85,6 +87,47 @@ TEST(PaperScaleRun, FatTreeK16With2048Vms) {
 
   EXPECT_EQ(res.iterations.size(), 2u);
   EXPECT_GT(res.reduction(), 0.5);
+  EXPECT_TRUE(alloc.check_consistency());
+}
+
+TEST(PaperScaleRun, FatTreeK16WithCachedCostModel) {
+  // Same §VI fat-tree, driven end-to-end through the incremental cost cache:
+  // every committed migration folds in O(degree), and the final cached total
+  // must match a brute-force Eq. (2) re-walk.
+  FatTree topo(FatTreeConfig::paper_scale());
+  CachedCostModel model(topo, LinkWeights::exponential(3));
+
+  score::traffic::GeneratorConfig gen;
+  gen.num_vms = 2048;
+  gen.mean_service_size = 24;
+  gen.seed = 95;
+  auto tm = score::traffic::generate_traffic(gen);
+
+  Rng rng(96);
+  ServerCapacity cap;
+  Allocation alloc = make_allocation(topo, cap, gen.num_vms, VmSpec{},
+                                     PlacementStrategy::kRandom, rng);
+  model.bind(alloc, tm);
+
+  MigrationEngine engine(model);
+  RoundRobinPolicy rr;
+  SimConfig cfg;
+  cfg.iterations = 2;
+  cfg.stop_when_stable = false;
+  ScoreSimulation sim(engine, rr, alloc, tm);
+  const auto res = sim.run(cfg);
+
+  EXPECT_GT(res.reduction(), 0.5);
+  EXPECT_GT(res.total_migrations, 0u);
+  // All committed moves went through the incremental path.
+  EXPECT_EQ(model.incremental_updates(), res.total_migrations);
+  EXPECT_EQ(model.rebuilds(), 1u);  // only the initial bind
+  // Cached total == brute force at the converged allocation.
+  const CostModel brute(topo, LinkWeights::exponential(3));
+  const double expect = brute.total_cost(alloc, tm);
+  EXPECT_NEAR(model.total_cost(alloc, tm), expect, 1e-7 * (1.0 + expect));
+  // ... and equals the simulation's own delta bookkeeping.
+  EXPECT_NEAR(res.final_cost, expect, 1e-7 * (1.0 + expect));
   EXPECT_TRUE(alloc.check_consistency());
 }
 

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over score-bench/v1 trajectory files.
+
+Two modes:
+
+  bench_compare.py --validate FILE
+      Schema check only: the file must be a score-bench/v1 document with
+      well-typed records. Schema drift fails loudly (exit 1).
+
+  bench_compare.py BASELINE CANDIDATE [options]
+      Diff a fresh run (CANDIDATE, e.g. BENCH_ci.json) against the committed
+      trajectory (BASELINE, BENCH_results.json). Records are joined on
+      (suite, scenario); the gate fails (exit 1) when, for any joined pair:
+
+        * ns_per_call regressed by more than --ns-tolerance (default 0.25,
+          i.e. +25%); scenarios faster than --ns-floor (default 100 ns, e.g.
+          the O(1) cached total_cost read) only fail above the floor itself,
+          since single-digit-ns timings are dominated by timer noise,
+        * checksum_per_call (rep-count invariant: bench_runner uses
+          cycle-aligned rep counts) diverges by more than --checksum-rtol
+          relative (default 1e-6); the raw checksum is additionally compared
+          when both runs made the same number of calls,
+        * cost_reduction_pct differs by more than --reduction-atol
+          percentage points (default 1.0).
+
+      Scenarios present only in the baseline (e.g. the paper-scale suite
+      when CI runs --scale default) are reported as skipped, not failed.
+
+Stdlib only; used by .github/workflows/ci.yml after the bench-smoke step and
+runnable locally:  python3 tools/bench_compare.py BENCH_results.json build/BENCH_ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "score-bench/v1"
+SCALES = {"default", "paper"}
+REQUIRED_FIELDS = {
+    "suite": str,
+    "scenario": str,
+    "wall_time_s": (int, float),
+    "cost_reduction_pct": (int, float),
+    "migrations": int,
+}
+
+
+def fail(msg: str) -> None:
+    print(f"bench_compare: FAIL: {msg}")
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+
+
+def validate(doc: dict, path: str) -> list[str]:
+    """Return a list of schema violations (empty = valid)."""
+    errors = []
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not a JSON object"]
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if doc.get("scale") not in SCALES:
+        errors.append(f"{path}: scale is {doc.get('scale')!r}, expected one of {sorted(SCALES)}")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        return errors + [f"{path}: 'results' must be a non-empty array"]
+    seen = set()
+    for i, rec in enumerate(results):
+        if not isinstance(rec, dict):
+            errors.append(f"{path}: results[{i}] is not an object")
+            continue
+        for field, types in REQUIRED_FIELDS.items():
+            if field not in rec:
+                errors.append(f"{path}: results[{i}] missing required field {field!r}")
+            elif not isinstance(rec[field], types) or isinstance(rec[field], bool):
+                errors.append(f"{path}: results[{i}].{field} has type {type(rec[field]).__name__}")
+        for key, value in rec.items():
+            if key in ("suite", "scenario"):
+                continue
+            if value is not None and (isinstance(value, bool) or not isinstance(value, (int, float))):
+                errors.append(f"{path}: results[{i}].{key} is not numeric")
+        key = (rec.get("suite"), rec.get("scenario"))
+        if key in seen:
+            errors.append(f"{path}: duplicate (suite, scenario) {key}")
+        seen.add(key)
+    return errors
+
+
+def index(doc: dict) -> dict[tuple[str, str], dict]:
+    return {(r["suite"], r["scenario"]): r for r in doc["results"]}
+
+
+def compare(baseline: dict, candidate: dict, args: argparse.Namespace) -> int:
+    base, cand = index(baseline), index(candidate)
+    failures = 0
+    compared = 0
+    for key in sorted(base.keys() | cand.keys()):
+        name = "/".join(key)
+        b, c = base.get(key), cand.get(key)
+        if c is None:
+            print(f"bench_compare: skip {name}: not in candidate "
+                  "(e.g. paper-scale suite not run)")
+            continue
+        if b is None:
+            print(f"bench_compare: note {name}: new scenario, no baseline yet")
+            continue
+        compared += 1
+
+        if "ns_per_call" in b and "ns_per_call" in c and b["ns_per_call"] > 0:
+            ratio = c["ns_per_call"] / b["ns_per_call"]
+            allowed = max(b["ns_per_call"] * (1.0 + args.ns_tolerance), args.ns_floor)
+            if c["ns_per_call"] > allowed:
+                fail(f"{name}: ns_per_call regressed {b['ns_per_call']:.4g} -> "
+                     f"{c['ns_per_call']:.4g} ({ratio:.2f}x, allowed up to "
+                     f"{allowed:.4g} ns)")
+                failures += 1
+            else:
+                print(f"bench_compare: ok {name}: ns_per_call "
+                      f"{b['ns_per_call']:.4g} -> {c['ns_per_call']:.4g} ({ratio:.2f}x)")
+
+        for field, need_equal_calls in (("checksum_per_call", False),
+                                        ("checksum", True)):
+            if field not in b or field not in c or b[field] == 0:
+                continue
+            if need_equal_calls and b.get("calls") != c.get("calls"):
+                continue
+            rel = abs(c[field] - b[field]) / abs(b[field])
+            if rel > args.checksum_rtol:
+                fail(f"{name}: {field} diverged {b[field]:.9g} -> "
+                     f"{c[field]:.9g} (rel {rel:.3g} > {args.checksum_rtol:.3g})")
+                failures += 1
+
+        dr = abs(c["cost_reduction_pct"] - b["cost_reduction_pct"])
+        if dr > args.reduction_atol:
+            fail(f"{name}: cost_reduction_pct diverged "
+                 f"{b['cost_reduction_pct']:.4f} -> {c['cost_reduction_pct']:.4f} "
+                 f"(|Δ| {dr:.3f} > {args.reduction_atol:.3f} pp)")
+            failures += 1
+
+    if compared == 0:
+        fail("no (suite, scenario) pairs in common — wrong files?")
+        failures += 1
+    print(f"bench_compare: {compared} scenarios compared, {failures} failure(s)")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+", metavar="FILE",
+                        help="--validate FILE, or BASELINE CANDIDATE")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check a single file instead of diffing two")
+    parser.add_argument("--ns-tolerance", type=float, default=0.25,
+                        help="allowed fractional ns_per_call regression (default 0.25 = +25%%)")
+    parser.add_argument("--ns-floor", type=float, default=100.0,
+                        help="ns_per_call below this never fails the tolerance check "
+                             "(timer noise floor for O(1) operations; default 100 ns)")
+    parser.add_argument("--checksum-rtol", type=float, default=1e-6,
+                        help="allowed relative checksum divergence at equal call counts")
+    parser.add_argument("--reduction-atol", type=float, default=1.0,
+                        help="allowed cost_reduction_pct divergence, percentage points")
+    args = parser.parse_args()
+
+    if args.validate:
+        if len(args.files) != 1:
+            parser.error("--validate takes exactly one file")
+        errors = validate(load(args.files[0]), args.files[0])
+        for e in errors:
+            fail(e)
+        if not errors:
+            print(f"bench_compare: {args.files[0]}: valid {SCHEMA}")
+        return 1 if errors else 0
+
+    if len(args.files) != 2:
+        parser.error("expected BASELINE CANDIDATE (or --validate FILE)")
+    baseline, candidate = load(args.files[0]), load(args.files[1])
+    errors = [*validate(baseline, args.files[0]), *validate(candidate, args.files[1])]
+    for e in errors:
+        fail(e)
+    if errors:
+        return 1
+    return compare(baseline, candidate, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
