@@ -32,7 +32,7 @@ int main() {
     ecfg.migration_cost = factor * unit;
     core::MigrationEngine engine(*s.model, ecfg);
     core::HighestLevelFirstPolicy hlf;
-    core::ScoreSimulation sim(engine, hlf, *s.alloc, s.tm);
+    driver::ScoreSimulation sim(engine, hlf, *s.alloc, s.tm);
     const auto res = sim.run();
     csv.row(factor, res.total_migrations, res.reduction(), res.final_cost,
             res.iterations.size());

@@ -27,9 +27,9 @@ int main() {
     auto s = bench::make_scenario(false, traffic::Intensity::kMedium);
     core::MigrationEngine engine(*s.model);
     auto policy = core::make_policy(name, /*seed=*/7);
-    core::SimConfig cfg;
+    driver::SimConfig cfg;
     cfg.iterations = 10;
-    core::ScoreSimulation sim(engine, *policy, *s.alloc, s.tm);
+    driver::ScoreSimulation sim(engine, *policy, *s.alloc, s.tm);
     const auto res = sim.run(cfg);
 
     for (std::size_t i = 0; i < res.iterations.size(); ++i) {

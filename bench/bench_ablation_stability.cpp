@@ -39,7 +39,7 @@ int main() {
     // Converge on epoch 0.
     {
       core::HighestLevelFirstPolicy hlf;
-      core::ScoreSimulation sim(engine, hlf, *s.alloc, dyn.epoch(0));
+      driver::ScoreSimulation sim(engine, hlf, *s.alloc, dyn.epoch(0));
       (void)sim.run();
     }
 

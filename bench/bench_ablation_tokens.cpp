@@ -1,14 +1,18 @@
 // Ablation A5 — multi-token scaling (extension beyond the paper).
 //
 // The paper's single token serialises |V| holds per iteration; with disjoint
-// VM partitions, k concurrent tokens preserve the Theorem-1 monotonicity
-// (deltas are evaluated against the live allocation) while cutting the
-// simulated convergence time ~k-fold. Reports time-to-stable, migrations and
-// final quality per token count.
+// VM partitions, k concurrent tokens cut the *simulated* convergence time
+// ~k-fold (pass end = max over per-token busy-until times), and since the
+// phased driver runs shard walks on real threads, *wall-clock* also scales
+// with the execution policy. Reports per token count: simulated
+// time-to-stable, passes, migrations, final quality, plus wall-clock under
+// seq and par(hardware) — the full tokens × threads grid lives in
+// bench_runner's ablation-tokens-threads suite.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/multi_token.hpp"
+#include "driver/multi_token.hpp"
+#include "util/exec_policy.hpp"
 
 int main() {
   using namespace score;
@@ -16,18 +20,27 @@ int main() {
   util::CsvWriter csv;
   std::cout << "# Ablation A5: concurrent tokens (canonical tree, medium TM)\n";
   csv.header({"tokens", "sim_time_to_stable_s", "passes", "migrations",
-              "cost_reduction"});
+              "cost_reduction", "wall_seq_s", "wall_par_s"});
 
   for (std::size_t tokens : {1, 2, 4, 8, 16}) {
-    auto s = bench::make_scenario(false, traffic::Intensity::kMedium);
-    core::MigrationEngine engine(*s.model);
-    core::MultiTokenConfig cfg;
-    cfg.tokens = tokens;
-    cfg.iterations = 12;
-    core::MultiTokenSimulation sim(engine, *s.alloc, s.tm);
-    const auto res = sim.run(cfg);
+    driver::SimResult res;
+    double wall_s[2] = {0.0, 0.0};
+    const util::ExecPolicy policies[2] = {util::ExecPolicy::seq(),
+                                          util::ExecPolicy::par()};
+    for (int p = 0; p < 2; ++p) {
+      auto s = bench::make_scenario(false, traffic::Intensity::kMedium);
+      core::MigrationEngine engine(*s.model);
+      driver::MultiTokenConfig cfg;
+      cfg.tokens = tokens;
+      cfg.iterations = 12;
+      cfg.policy = policies[p];
+      driver::MultiTokenSimulation sim(engine, *s.alloc, s.tm);
+      bench::Stopwatch sw;
+      res = sim.run(cfg);  // identical results for both policies
+      wall_s[p] = sw.elapsed_s();
+    }
     csv.row(tokens, res.duration_s, res.iterations.size(),
-            res.total_migrations, res.reduction());
+            res.total_migrations, res.reduction(), wall_s[0], wall_s[1]);
   }
   return 0;
 }

@@ -61,7 +61,7 @@ int main() {
 
     core::MigrationEngine engine(model);
     core::HighestLevelFirstPolicy hlf;
-    core::ScoreSimulation sim(engine, hlf, alloc, tm);
+    driver::ScoreSimulation sim(engine, hlf, alloc, tm);
     const auto res = sim.run();
 
     const double util_after =

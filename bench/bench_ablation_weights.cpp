@@ -33,7 +33,7 @@ int main() {
     const auto before = core::link_loads_for(*s.topology, *s.alloc, s.tm);
     const double core_before = before.max_utilization(3);
 
-    core::ScoreSimulation sim(engine, hlf, *s.alloc, s.tm);
+    driver::ScoreSimulation sim(engine, hlf, *s.alloc, s.tm);
     const auto res = sim.run();
 
     const auto after = core::link_loads_for(*s.topology, *s.alloc, s.tm);

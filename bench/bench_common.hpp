@@ -23,7 +23,7 @@
 #include "core/cached_cost_model.hpp"
 #include "core/cost_model.hpp"
 #include "core/metrics.hpp"
-#include "core/simulation.hpp"
+#include "driver/simulation.hpp"
 #include "topology/canonical_tree.hpp"
 #include "topology/fat_tree.hpp"
 #include "traffic/generator.hpp"

@@ -63,7 +63,7 @@ int main() {
 
   core::MigrationEngine engine(*s.model);
   core::HighestLevelFirstPolicy hlf;
-  core::ScoreSimulation sim(engine, hlf, *s.alloc, s.tm);
+  driver::ScoreSimulation sim(engine, hlf, *s.alloc, s.tm);
   const auto res = sim.run();
 
   const auto after = flow_sim.run(flows_for(*s.alloc));

@@ -22,11 +22,11 @@ int main() {
     core::MigrationEngine engine(*s.model);
     auto policy = core::make_policy(policy_name);
 
-    core::SimConfig cfg;
+    driver::SimConfig cfg;
     cfg.iterations = 5;
     cfg.stop_when_stable = false;
-    core::ScoreSimulation sim(engine, *policy, *s.alloc, s.tm);
-    const core::SimResult res = sim.run(cfg);
+    driver::ScoreSimulation sim(engine, *policy, *s.alloc, s.tm);
+    const driver::SimResult res = sim.run(cfg);
 
     for (std::size_t i = 0; i < res.iterations.size(); ++i) {
       csv.row(policy_name, i + 1, res.iterations[i].migrated_ratio,

@@ -41,10 +41,10 @@ inline int run_fig3_costratio(bool fat_tree) {
       auto s = make_scenario(fat_tree, intensity, seed);
       core::MigrationEngine engine(*s.model);
       auto policy = core::make_policy(policy_name);
-      core::SimConfig cfg;
+      driver::SimConfig cfg;
       cfg.iterations = 8;
-      core::ScoreSimulation sim(engine, *policy, *s.alloc, s.tm);
-      const core::SimResult res = sim.run(cfg);
+      driver::ScoreSimulation sim(engine, *policy, *s.alloc, s.tm);
+      const driver::SimResult res = sim.run(cfg);
 
       // Thin the series to ~80 points for readable output.
       const std::size_t stride = std::max<std::size_t>(1, res.series.size() / 80);

@@ -47,10 +47,10 @@ int main() {
 
   core::MigrationEngine engine(*s_score.model, ecfg);
   core::HighestLevelFirstPolicy hlf;
-  core::SimConfig scfg;
+  driver::SimConfig scfg;
   scfg.iterations = 8;
-  core::ScoreSimulation sim(engine, hlf, *s_score.alloc, s_score.tm);
-  const core::SimResult score_res = sim.run(scfg);
+  driver::ScoreSimulation sim(engine, hlf, *s_score.alloc, s_score.tm);
+  const driver::SimResult score_res = sim.run(scfg);
 
   const auto remedy_res = remedy.run(*s_remedy.alloc, s_remedy.tm);
 

@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "baselines/placement.hpp"
-#include "core/simulation.hpp"
+#include "driver/simulation.hpp"
 #include "core/token_policy.hpp"
 #include "topology/fat_tree.hpp"
 #include "traffic/generator.hpp"
@@ -47,7 +47,7 @@ int main() {
 
   std::printf("Phase 1: initial convergence on workload A\n");
   core::RoundRobinPolicy policy_a;
-  core::ScoreSimulation sim_a(engine, policy_a, alloc, tm);
+  driver::ScoreSimulation sim_a(engine, policy_a, alloc, tm);
   const auto res_a = sim_a.run();
   std::printf("  cost %.3e -> %.3e (%.1f%%), %zu migrations, %zu iterations\n",
               res_a.initial_cost, res_a.final_cost, 100.0 * res_a.reduction(),
@@ -60,7 +60,7 @@ int main() {
     tm.add(0, member, 5e6);  // 5 Mb/s to the service frontend
   }
   core::RoundRobinPolicy policy_b;
-  core::ScoreSimulation sim_b(engine, policy_b, alloc, tm);
+  driver::ScoreSimulation sim_b(engine, policy_b, alloc, tm);
   const auto res_b = sim_b.run();
   std::printf("  cost %.3e -> %.3e (%.1f%%), %zu migrations, %zu iterations\n",
               res_b.initial_cost, res_b.final_cost, 100.0 * res_b.reduction(),

@@ -10,7 +10,7 @@
 
 #include "baselines/placement.hpp"
 #include "core/cost_model.hpp"
-#include "core/simulation.hpp"
+#include "driver/simulation.hpp"
 #include "core/token_policy.hpp"
 #include "topology/canonical_tree.hpp"
 #include "traffic/generator.hpp"
@@ -46,8 +46,8 @@ int main() {
   core::CostModel model(topology, core::LinkWeights::exponential(3));
   core::MigrationEngine engine(model);
   core::HighestLevelFirstPolicy policy;
-  core::ScoreSimulation sim(engine, policy, alloc, tm);
-  const core::SimResult result = sim.run();
+  driver::ScoreSimulation sim(engine, policy, alloc, tm);
+  const driver::SimResult result = sim.run();
 
   std::printf("S-CORE quickstart (%zu VMs on %zu hosts)\n", tm.num_vms(),
               topology.num_hosts());

@@ -12,7 +12,7 @@
 
 #include "baselines/placement.hpp"
 #include "core/metrics.hpp"
-#include "core/simulation.hpp"
+#include "driver/simulation.hpp"
 #include "core/token_policy.hpp"
 #include "topology/canonical_tree.hpp"
 #include "traffic/generator.hpp"
@@ -92,7 +92,7 @@ int main() {
 
   core::MigrationEngine engine(model);
   core::HighestLevelFirstPolicy policy;
-  core::ScoreSimulation sim(engine, policy, alloc, tm);
+  driver::ScoreSimulation sim(engine, policy, alloc, tm);
   const auto result = sim.run();
 
   std::printf("\nAfter S-CORE (%zu migrations, %.1f%% cost reduction):\n",

@@ -68,10 +68,15 @@ class MigrationEngine {
                                           const traffic::TrafficMatrix& tm,
                                           VmId u) const;
 
- private:
+  /// Full placement feasibility for a VM of `spec` on `target`: capacity
+  /// (slots, RAM, CPU, NIC) plus the §V-C bandwidth-headroom threshold.
+  /// Used by evaluate()'s candidate probing and by the multi-token driver
+  /// to revalidate shard-local decisions against the live allocation at the
+  /// merge barrier.
   bool target_feasible(const Allocation& alloc, ServerId target,
                        const VmSpec& spec) const;
 
+ private:
   const CostModel* model_;
   EngineConfig config_;
 };

@@ -1,0 +1,88 @@
+#include "core/sharded_cost_oracle.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace score::core {
+
+std::vector<VmRange> partition_vms(std::size_t num_vms, std::size_t shards) {
+  if (num_vms == 0) throw std::invalid_argument("partition_vms: no VMs");
+  shards = std::max<std::size_t>(1, std::min(shards, num_vms));
+  std::vector<VmRange> ranges;
+  ranges.reserve(shards);
+  const std::size_t base = num_vms / shards;
+  const std::size_t extra = num_vms % shards;
+  VmId first = 0;
+  for (std::size_t t = 0; t < shards; ++t) {
+    const auto size = static_cast<VmId>(base + (t < extra ? 1 : 0));
+    ranges.push_back({first, static_cast<VmId>(first + size - 1)});
+    first += size;
+  }
+  return ranges;
+}
+
+ShardedCostOracle::ShardedCostOracle(const topo::Topology& topology,
+                                     LinkWeights weights,
+                                     std::vector<VmRange> partitions) {
+  if (partitions.empty()) {
+    throw std::invalid_argument("ShardedCostOracle: no partitions");
+  }
+  shards_.reserve(partitions.size());
+  for (const VmRange& range : partitions) {
+    if (range.last < range.first) {
+      throw std::invalid_argument("ShardedCostOracle: empty partition range");
+    }
+    Shard shard;
+    shard.range = range;
+    shard.model = std::make_unique<CachedCostModel>(topology, weights);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void ShardedCostOracle::begin_pass(const Allocation& master,
+                                   const traffic::TrafficMatrix& tm,
+                                   const util::ExecPolicy& policy) {
+  util::for_each_shard(policy, shards_.size(), [&](std::size_t t) {
+    Shard& shard = shards_[t];
+    if (shard.snapshot) {
+      *shard.snapshot = master;
+    } else {
+      shard.snapshot = std::make_unique<Allocation>(master);
+    }
+    shard.model->bind(*shard.snapshot, tm);
+  });
+}
+
+Allocation& ShardedCostOracle::shard_alloc(std::size_t shard) {
+  Shard& s = shards_.at(shard);
+  if (!s.snapshot) {
+    throw std::logic_error("ShardedCostOracle: shard_alloc before begin_pass");
+  }
+  return *s.snapshot;
+}
+
+const CachedCostModel& ShardedCostOracle::shard_model(std::size_t shard) const {
+  return *shards_.at(shard).model;
+}
+
+double ShardedCostOracle::reconcile(const Allocation& master,
+                                    const traffic::TrafficMatrix& tm,
+                                    const util::ExecPolicy& policy) const {
+  last_sums_.assign(shards_.size(), 0.0);
+  util::for_each_shard(policy, shards_.size(), [&](std::size_t t) {
+    const Shard& shard = shards_[t];
+    double sum = 0.0;
+    for (VmId u = shard.range.first; u <= shard.range.last; ++u) {
+      // `master` is never a shard's bound pair (shards bind their private
+      // snapshots), so this is the brute-force Eq. (1) walk — pure, hence
+      // safe to run concurrently with the other shards' sums.
+      sum += shard.model->vm_cost(master, tm, u);
+    }
+    last_sums_[t] = sum;
+  });
+  double total = 0.0;
+  for (const double sum : last_sums_) total += sum;  // fixed order: shard 0..k-1
+  return 0.5 * total;  // Eq. (2): every unordered pair counted once
+}
+
+}  // namespace score::core

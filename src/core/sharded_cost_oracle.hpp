@@ -1,0 +1,95 @@
+// Sharded cost oracle — the thread-safe face of the incremental cost cache.
+//
+// CachedCostModel is deliberately not thread-safe (bound state mutates under
+// const), so parallel token rounds cannot share one instance. Instead each
+// token partition gets its *own* CachedCostModel, bound to a private
+// snapshot of the allocation taken at the pass barrier:
+//
+//   begin_pass(master)   snapshot master into every shard, rebind the
+//                        shard's cache to its snapshot (parallelisable —
+//                        shard state is disjoint by construction);
+//   shard walk           the owning token evaluates and commits migrations
+//                        against its snapshot through its cache; peers'
+//                        positions are frozen at pass start, which is
+//                        exactly the stale-information regime the paper's
+//                        distributed agents operate in (§V);
+//   reconcile(master)    after the merged commits land on the master
+//                        allocation, recompute the true Eq. (2) total as
+//                        ½ Σ_t Σ_{u∈partition_t} C^A(u) — per-shard partial
+//                        sums over the *merged* state, summed in shard order
+//                        so the result is independent of the execution
+//                        policy. This value is fed back as the pass cost.
+//
+// Invariant (extends the ARCHITECTURE.md cache ownership contract): a shard
+// cache is only ever touched by the job running its shard index; the oracle
+// itself holds no mutable state shared across shards during a pass.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/cached_cost_model.hpp"
+#include "util/exec_policy.hpp"
+
+namespace score::core {
+
+/// Inclusive VM-id range [first, last] owned by one token/shard.
+struct VmRange {
+  VmId first = 0;
+  VmId last = 0;
+
+  std::size_t size() const { return static_cast<std::size_t>(last - first) + 1; }
+  bool operator==(const VmRange&) const = default;
+};
+
+/// Contiguous id partitions, sizes differing by at most one (the multi-token
+/// carve-up). `shards` is clamped to [1, num_vms]; num_vms must be > 0.
+std::vector<VmRange> partition_vms(std::size_t num_vms, std::size_t shards);
+
+class ShardedCostOracle {
+ public:
+  /// Partitions must be non-empty and pairwise disjoint; they are assumed to
+  /// cover exactly the VM ids of the allocations later passed to begin_pass.
+  ShardedCostOracle(const topo::Topology& topology, LinkWeights weights,
+                    std::vector<VmRange> partitions);
+
+  std::size_t num_shards() const { return shards_.size(); }
+  const VmRange& partition(std::size_t shard) const {
+    return shards_.at(shard).range;
+  }
+
+  /// Snapshot `master` into every shard and (re)bind the shard caches.
+  /// Runs one job per shard under `policy`.
+  void begin_pass(const Allocation& master, const traffic::TrafficMatrix& tm,
+                  const util::ExecPolicy& policy);
+
+  /// The shard's private allocation snapshot (valid after begin_pass).
+  /// Mutable by design: the owning token commits its pass-local migrations
+  /// here through shard_model's apply_migration.
+  Allocation& shard_alloc(std::size_t shard);
+  const CachedCostModel& shard_model(std::size_t shard) const;
+
+  /// True Eq. (2) total of `master` from per-shard partial sums (one job per
+  /// shard under `policy`, summed in ascending shard order — deterministic
+  /// for any policy). Pure with respect to the shard caches: `master` is not
+  /// any shard's bound pair, so the per-VM Eq. (1) terms are recomputed
+  /// brute-force against the merged state.
+  double reconcile(const Allocation& master, const traffic::TrafficMatrix& tm,
+                   const util::ExecPolicy& policy) const;
+
+  /// Per-shard partial sums of the last reconcile() (diagnostics/tests).
+  const std::vector<double>& last_shard_sums() const { return last_sums_; }
+
+ private:
+  struct Shard {
+    VmRange range;
+    std::unique_ptr<CachedCostModel> model;
+    std::unique_ptr<Allocation> snapshot;
+  };
+
+  std::vector<Shard> shards_;
+  mutable std::vector<double> last_sums_;
+};
+
+}  // namespace score::core

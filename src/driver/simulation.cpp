@@ -1,9 +1,9 @@
-#include "core/simulation.hpp"
+#include "driver/simulation.hpp"
 
-namespace score::core {
+namespace score::driver {
 
 SimResult ScoreSimulation::run(const SimConfig& config) {
-  const CostModel& model = engine_->cost_model();
+  const core::CostModel& model = engine_->cost_model();
   const std::size_t num_vms = tm_->num_vms();
 
   SimResult result;
@@ -23,13 +23,15 @@ SimResult ScoreSimulation::run(const SimConfig& config) {
   sim::EventFn process_hold = [&]() {
     if (stopped) return;
     policy_->observe(model, *alloc_, *tm_, holder);
-    const Decision d = engine_->evaluate(*alloc_, *tm_, holder);
+    const core::Decision d = engine_->evaluate(*alloc_, *tm_, holder);
 
     double busy = config.token_hold_s;
     if (d.migrate) {
       const double bytes = alloc_->spec(holder).ram_mb * 1e6 * config.precopy_factor;
       busy += bytes * 8.0 / config.migration_bandwidth_bps +
               config.migration_overhead_s;
+      result.migration_log.push_back(
+          {result.iterations.size(), holder, alloc_->server_of(holder), d.target});
       model.apply_migration(*alloc_, *tm_, holder, d.target);
       cost -= d.delta;  // Lemma 3: the global cost drops by exactly ΔC
       ++result.total_migrations;
@@ -80,4 +82,4 @@ SimResult ScoreSimulation::run(const SimConfig& config) {
   return result;
 }
 
-}  // namespace score::core
+}  // namespace score::driver

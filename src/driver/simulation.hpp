@@ -8,6 +8,11 @@
 // pass over all VMs), matching Fig. 2's x-axis. The recorded time series of
 // the global communication cost is what Fig. 3d-i and Fig. 4b plot,
 // normalised by a baseline (GA-approximated optimum or initial cost).
+//
+// This lives in the `score_driver` layer (not `score_core`): the decision
+// engine, cost model and token policies below are pure domain logic, while
+// the drivers here additionally advance an experiment clock. Embedders that
+// only need decisions (e.g. a hypervisor agent) link score_core alone.
 #pragma once
 
 #include <vector>
@@ -16,7 +21,11 @@
 #include "core/token_policy.hpp"
 #include "sim/event_queue.hpp"
 
-namespace score::core {
+namespace score::driver {
+
+using core::Allocation;
+using core::ServerId;
+using core::VmId;
 
 struct SimConfig {
   std::size_t iterations = 5;
@@ -50,6 +59,17 @@ struct IterationStats {
   double time_at_end_s = 0.0;
 };
 
+/// One committed migration, in commit order — the determinism tests compare
+/// whole logs across execution policies.
+struct MigrationRecord {
+  std::size_t pass = 0;  ///< 0-based iteration the commit belongs to
+  VmId vm = 0;
+  ServerId from = core::kInvalidServer;
+  ServerId to = core::kInvalidServer;
+
+  bool operator==(const MigrationRecord&) const = default;
+};
+
 struct SimResult {
   double initial_cost = 0.0;
   double final_cost = 0.0;
@@ -57,6 +77,7 @@ struct SimResult {
   double duration_s = 0.0;
   std::vector<TimePoint> series;
   std::vector<IterationStats> iterations;
+  std::vector<MigrationRecord> migration_log;  ///< commit order
 
   double reduction() const {
     return initial_cost > 0.0 ? 1.0 - final_cost / initial_cost : 0.0;
@@ -66,17 +87,17 @@ struct SimResult {
 class ScoreSimulation {
  public:
   /// All references must outlive the simulation. The allocation is mutated.
-  ScoreSimulation(const MigrationEngine& engine, TokenPolicy& policy,
+  ScoreSimulation(const core::MigrationEngine& engine, core::TokenPolicy& policy,
                   Allocation& alloc, const traffic::TrafficMatrix& tm)
       : engine_(&engine), policy_(&policy), alloc_(&alloc), tm_(&tm) {}
 
   SimResult run(const SimConfig& config = {});
 
  private:
-  const MigrationEngine* engine_;
-  TokenPolicy* policy_;
+  const core::MigrationEngine* engine_;
+  core::TokenPolicy* policy_;
   Allocation* alloc_;
   const traffic::TrafficMatrix* tm_;
 };
 
-}  // namespace score::core
+}  // namespace score::driver

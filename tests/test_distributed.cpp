@@ -4,7 +4,7 @@
 // same quality of allocation as the centralized evaluation loop.
 #include <gtest/gtest.h>
 
-#include "core/simulation.hpp"
+#include "driver/simulation.hpp"
 #include "core/token_policy.hpp"
 #include "helpers.hpp"
 #include "hypervisor/distributed_runtime.hpp"
@@ -18,8 +18,8 @@ using score::core::CostModel;
 using score::core::LinkWeights;
 using score::core::MigrationEngine;
 using score::core::RoundRobinPolicy;
-using score::core::ScoreSimulation;
-using score::core::SimConfig;
+using score::driver::ScoreSimulation;
+using score::driver::SimConfig;
 using score::core::VmId;
 using score::hypervisor::DistributedScoreRuntime;
 using score::hypervisor::format_ipv4;

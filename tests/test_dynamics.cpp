@@ -4,7 +4,7 @@
 // mice churn when decisions use window-averaged loads.
 #include <gtest/gtest.h>
 
-#include "core/simulation.hpp"
+#include "driver/simulation.hpp"
 #include "core/token_policy.hpp"
 #include "helpers.hpp"
 #include "traffic/dynamics.hpp"
@@ -13,7 +13,7 @@ namespace {
 
 using score::core::MigrationEngine;
 using score::core::RoundRobinPolicy;
-using score::core::ScoreSimulation;
+using score::driver::ScoreSimulation;
 using score::traffic::average_tms;
 using score::traffic::DynamicsConfig;
 using score::traffic::GeneratorConfig;

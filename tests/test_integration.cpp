@@ -12,7 +12,7 @@
 #include "baselines/ga_optimizer.hpp"
 #include "baselines/placement.hpp"
 #include "baselines/remedy.hpp"
-#include "core/simulation.hpp"
+#include "driver/simulation.hpp"
 #include "helpers.hpp"
 #include "hypervisor/token_codec.hpp"
 
@@ -31,9 +31,9 @@ using score::core::HighestLevelFirstPolicy;
 using score::core::LinkWeights;
 using score::core::MigrationEngine;
 using score::core::RoundRobinPolicy;
-using score::core::ScoreSimulation;
+using score::driver::ScoreSimulation;
 using score::core::ServerCapacity;
-using score::core::SimConfig;
+using score::driver::SimConfig;
 using score::core::VmSpec;
 using score::testing::tiny_tree_config;
 using score::topo::CanonicalTree;

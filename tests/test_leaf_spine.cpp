@@ -5,7 +5,7 @@
 
 #include <set>
 
-#include "core/simulation.hpp"
+#include "driver/simulation.hpp"
 #include "core/token_policy.hpp"
 #include "helpers.hpp"
 #include "topology/leaf_spine.hpp"
@@ -16,7 +16,7 @@ using score::core::CostModel;
 using score::core::LinkWeights;
 using score::core::MigrationEngine;
 using score::core::RoundRobinPolicy;
-using score::core::ScoreSimulation;
+using score::driver::ScoreSimulation;
 using score::topo::LeafSpine;
 using score::topo::LeafSpineConfig;
 using score::topo::LinkId;

@@ -3,7 +3,9 @@
 // speed-up with more tokens, and bookkeeping invariants.
 #include <gtest/gtest.h>
 
-#include "core/multi_token.hpp"
+#include <cmath>
+
+#include "driver/multi_token.hpp"
 #include "core/token_policy.hpp"
 #include "helpers.hpp"
 
@@ -12,11 +14,11 @@ namespace {
 using score::core::CostModel;
 using score::core::LinkWeights;
 using score::core::MigrationEngine;
-using score::core::MultiTokenConfig;
-using score::core::MultiTokenSimulation;
+using score::driver::MultiTokenConfig;
+using score::driver::MultiTokenSimulation;
 using score::core::RoundRobinPolicy;
-using score::core::ScoreSimulation;
-using score::core::SimConfig;
+using score::driver::ScoreSimulation;
+using score::driver::SimConfig;
 using score::testing::random_allocation;
 using score::testing::random_tm;
 using score::testing::tiny_tree_config;
@@ -53,7 +55,11 @@ TEST_F(MultiTokenTest, SingleTokenMatchesScoreSimulation) {
   const auto multi_res = multi.run(mcfg);
 
   // Identical visit order and decision rule -> identical final allocation.
-  EXPECT_DOUBLE_EQ(multi_res.final_cost, ref_res.final_cost);
+  // Costs agree only to rounding: the multi-token driver reports the
+  // pass-barrier *reconciled* Eq. (2) total, the single-token driver the
+  // accumulated cost -= delta running sum.
+  EXPECT_NEAR(multi_res.final_cost, ref_res.final_cost,
+              1e-9 * (1.0 + std::abs(ref_res.final_cost)));
   EXPECT_EQ(multi_res.total_migrations, ref_res.total_migrations);
   for (score::core::VmId u = 0; u < 48; ++u) {
     EXPECT_EQ(alloc_multi.server_of(u), alloc_single.server_of(u));

@@ -7,7 +7,7 @@
 
 #include "baselines/placement.hpp"
 #include "core/cached_cost_model.hpp"
-#include "core/simulation.hpp"
+#include "driver/simulation.hpp"
 #include "core/token_policy.hpp"
 #include "hypervisor/token_codec.hpp"
 #include "topology/canonical_tree.hpp"
@@ -24,9 +24,9 @@ using score::core::CostModel;
 using score::core::LinkWeights;
 using score::core::MigrationEngine;
 using score::core::RoundRobinPolicy;
-using score::core::ScoreSimulation;
+using score::driver::ScoreSimulation;
 using score::core::ServerCapacity;
-using score::core::SimConfig;
+using score::driver::SimConfig;
 using score::core::VmSpec;
 using score::topo::CanonicalTree;
 using score::topo::CanonicalTreeConfig;

@@ -3,7 +3,7 @@
 // accounting, and policy-agnostic invariants.
 #include <gtest/gtest.h>
 
-#include "core/simulation.hpp"
+#include "driver/simulation.hpp"
 #include "helpers.hpp"
 #include "sim/event_queue.hpp"
 
@@ -13,9 +13,9 @@ using score::core::CostModel;
 using score::core::LinkWeights;
 using score::core::MigrationEngine;
 using score::core::RoundRobinPolicy;
-using score::core::ScoreSimulation;
-using score::core::SimConfig;
-using score::core::SimResult;
+using score::driver::ScoreSimulation;
+using score::driver::SimConfig;
+using score::driver::SimResult;
 using score::sim::EventQueue;
 using score::testing::random_allocation;
 using score::testing::random_tm;

@@ -11,7 +11,7 @@
 #include <memory>
 #include <tuple>
 
-#include "core/simulation.hpp"
+#include "driver/simulation.hpp"
 #include "core/token_policy.hpp"
 #include "helpers.hpp"
 #include "topology/leaf_spine.hpp"
@@ -21,8 +21,8 @@ namespace {
 using score::core::CostModel;
 using score::core::LinkWeights;
 using score::core::MigrationEngine;
-using score::core::ScoreSimulation;
-using score::core::SimConfig;
+using score::driver::ScoreSimulation;
+using score::driver::SimConfig;
 using score::topo::CanonicalTree;
 using score::topo::FatTree;
 using score::topo::FatTreeConfig;

@@ -25,6 +25,10 @@ Two modes:
 
       Scenarios present only in the baseline (e.g. the paper-scale suite
       when CI runs --scale default) are reported as skipped, not failed.
+      Scenarios present only in the candidate — newly added benches that have
+      no committed trajectory yet, e.g. a fresh ablation suite — are reported
+      as new and never fail the gate (pass --fail-on-new to forbid them,
+      e.g. when diffing two runs of the same binary).
 
 Stdlib only; used by .github/workflows/ci.yml after the bench-smoke step and
 runnable locally:  python3 tools/bench_compare.py BENCH_results.json build/BENCH_ci.json
@@ -101,15 +105,25 @@ def compare(baseline: dict, candidate: dict, args: argparse.Namespace) -> int:
     base, cand = index(baseline), index(candidate)
     failures = 0
     compared = 0
+    skipped = 0
+    new = 0
     for key in sorted(base.keys() | cand.keys()):
         name = "/".join(key)
         b, c = base.get(key), cand.get(key)
         if c is None:
+            skipped += 1
             print(f"bench_compare: skip {name}: not in candidate "
                   "(e.g. paper-scale suite not run)")
             continue
         if b is None:
-            print(f"bench_compare: note {name}: new scenario, no baseline yet")
+            # Newly added scenario: there is nothing to regress against, so it
+            # never fails the gate — it becomes the baseline once committed.
+            new += 1
+            if args.fail_on_new:
+                fail(f"{name}: scenario absent from baseline (--fail-on-new)")
+                failures += 1
+            else:
+                print(f"bench_compare: new {name}: no baseline yet, not gated")
             continue
         compared += 1
 
@@ -147,7 +161,8 @@ def compare(baseline: dict, candidate: dict, args: argparse.Namespace) -> int:
     if compared == 0:
         fail("no (suite, scenario) pairs in common — wrong files?")
         failures += 1
-    print(f"bench_compare: {compared} scenarios compared, {failures} failure(s)")
+    print(f"bench_compare: {compared} scenarios compared, {new} new, "
+          f"{skipped} skipped, {failures} failure(s)")
     return 1 if failures else 0
 
 
@@ -167,6 +182,9 @@ def main() -> int:
                         help="allowed relative checksum divergence at equal call counts")
     parser.add_argument("--reduction-atol", type=float, default=1.0,
                         help="allowed cost_reduction_pct divergence, percentage points")
+    parser.add_argument("--fail-on-new", action="store_true",
+                        help="fail when the candidate has scenarios absent from the "
+                             "baseline (default: new scenarios are not gated)")
     args = parser.parse_args()
 
     if args.validate:

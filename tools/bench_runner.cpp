@@ -8,24 +8,32 @@
 // trajectory file via tools/bench_compare.py to show its perf delta.
 //
 // Usage:
-//   bench_runner [--out FILE] [--quick] [--scale default|paper]
+//   bench_runner [--out FILE] [--quick] [--scale default|paper] [--threads N]
 //
 //   --quick   shrink the GA normaliser budget and micro rep counts so the
 //             whole run finishes in a few seconds (CI smoke); ratios are
 //             slightly noisier.
 //   --scale   "paper" additionally runs the paper-scale suite: fat-tree
 //             k=16 (1024 hosts) and k=32 (8192 hosts), and the canonical
-//             tree at 2560 hosts with 16 VM slots per host (§VI). These
-//             skip the GA normaliser (intractable at that size) and report
-//             absolute reduction plus cached/brute-force cost-oracle
+//             tree at 2560 hosts with 16 VM slots per host (§VI), plus the
+//             tokens × threads ablation (parallel token rounds on the
+//             fat-tree k=16 scenario: wall-clock scaling + cost parity).
+//             These skip the GA normaliser (intractable at that size) and
+//             report absolute reduction plus cached/brute-force cost-oracle
 //             timings. Default: "default" (the fast trajectory subset).
+//   --threads max worker threads for the tokens × threads ablation
+//             (default 4).
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "core/token_policy.hpp"
+#include "driver/multi_token.hpp"
+#include "util/exec_policy.hpp"
 
 namespace {
 
@@ -33,6 +41,7 @@ using namespace score;
 
 bool g_quick = false;
 bool g_paper_suite = false;
+std::size_t g_threads = 4;  // --threads: max workers for the tokens ablation
 
 baselines::GaConfig runner_ga_config() {
   baselines::GaConfig cfg = bench::ga_config();
@@ -54,11 +63,11 @@ void run_fig2(bench::JsonReport& report) {
     core::MigrationEngine engine(*s.model);
     auto policy = core::make_policy(policy_name);
 
-    core::SimConfig cfg;
+    driver::SimConfig cfg;
     cfg.iterations = 5;
     cfg.stop_when_stable = false;
-    core::ScoreSimulation sim(engine, *policy, *s.alloc, s.tm);
-    const core::SimResult res = sim.run(cfg);
+    driver::ScoreSimulation sim(engine, *policy, *s.alloc, s.tm);
+    const driver::SimResult res = sim.run(cfg);
 
     bench::BenchRecord rec;
     rec.suite = "fig2-convergence";
@@ -99,10 +108,10 @@ void run_fig3(bench::JsonReport& report) {
       s.bind_cache();
       core::MigrationEngine engine(*s.model);
       auto policy = core::make_policy(policy_name);
-      core::SimConfig cfg;
+      driver::SimConfig cfg;
       cfg.iterations = 8;
-      core::ScoreSimulation sim(engine, *policy, *s.alloc, s.tm);
-      const core::SimResult res = sim.run(cfg);
+      driver::ScoreSimulation sim(engine, *policy, *s.alloc, s.tm);
+      const driver::SimResult res = sim.run(cfg);
 
       bench::BenchRecord rec;
       rec.suite = "fig3-cost-ratio";
@@ -218,6 +227,132 @@ void run_micro(bench::JsonReport& report) {
   }
 }
 
+// Paper §VI fleet shared by the paper-scale suite and the tokens × threads
+// ablation: 16 VM slots per host, fleet at 50% slot occupancy, one fixed
+// workload/placement seed — keeping both suites on the *same* scenario so
+// their rows in BENCH_results.json stay cross-comparable.
+struct PaperFleet {
+  core::ServerCapacity cap;
+  std::size_t num_vms;
+  traffic::TrafficMatrix tm;
+  core::Allocation alloc;
+};
+
+PaperFleet make_paper_fleet(const topo::Topology& topology) {
+  core::ServerCapacity cap;
+  cap.vm_slots = 16;
+  cap.ram_mb = 16 * 256.0;
+  cap.cpu_cores = 16.0;
+  const std::size_t num_vms = topology.num_hosts() * cap.vm_slots / 2;
+
+  traffic::GeneratorConfig gen;
+  gen.num_vms = num_vms;
+  gen.mean_service_size = 24;
+  gen.intra_service_degree = 4.0;
+  gen.cross_service_prob = 0.3;
+  gen.seed = 42;
+  traffic::TrafficMatrix tm = traffic::generate_traffic(gen);
+
+  util::Rng rng(43);
+  core::Allocation alloc = baselines::make_allocation(
+      topology, cap, num_vms, core::VmSpec{},
+      baselines::PlacementStrategy::kRandom, rng);
+  return {cap, num_vms, std::move(tm), std::move(alloc)};
+}
+
+// Tokens × threads ablation (paper suite): the wall-clock scaling claim of
+// parallel token rounds. Fat-tree k=16 at paper scale, k concurrent tokens
+// walking disjoint partitions under seq / par(1) / par(2) / par(n) execution
+// policies. Results are policy-invariant by construction (the determinism
+// tests enforce it), so every scenario must report the *same* final cost —
+// checked here, hard failure on divergence — while sim_wall_s shrinks with
+// the thread count. speedup_vs_par1 is the headline metric.
+bool run_tokens_threads(bench::JsonReport& report) {
+  topo::FatTree topology(topo::FatTreeConfig{.k = 16});
+  const PaperFleet fleet = make_paper_fleet(topology);
+  const traffic::TrafficMatrix& tm = fleet.tm;
+  const std::size_t num_vms = fleet.num_vms;
+
+  // --threads caps the widest policy: never spawn more workers than asked.
+  std::vector<util::ExecPolicy> policies = {util::ExecPolicy::seq(),
+                                            util::ExecPolicy::par(1)};
+  if (g_threads >= 2) policies.push_back(util::ExecPolicy::par(2));
+  if (g_threads > 2) policies.push_back(util::ExecPolicy::par(g_threads));
+
+  bool ok = true;
+  for (const std::size_t tokens : {4u, 16u}) {
+    double seq_final_cost = 0.0;
+    double par1_wall_s = 0.0;
+    for (const util::ExecPolicy& policy : policies) {
+      core::Allocation alloc = fleet.alloc;
+      core::CachedCostModel model(topology, core::LinkWeights::exponential(3));
+      model.bind(alloc, tm);
+      core::MigrationEngine engine(model);
+
+      driver::MultiTokenConfig cfg;
+      cfg.tokens = tokens;
+      cfg.iterations = 2;  // fixed pass count: wall-clock comparable across rows
+      cfg.stop_when_stable = false;
+      cfg.policy = policy;
+
+      bench::Stopwatch sim_sw;
+      driver::MultiTokenSimulation sim(engine, alloc, tm);
+      const driver::SimResult res = sim.run(cfg);
+      const double sim_wall = sim_sw.elapsed_s();
+
+      if (policy == util::ExecPolicy::seq()) seq_final_cost = res.final_cost;
+      if (policy == util::ExecPolicy::par(1)) par1_wall_s = sim_wall;
+
+      // Cost-reduction parity: every policy must land on the sequential
+      // final cost (bit-identical modulo summation rounding).
+      const double rel = std::abs(res.final_cost - seq_final_cost) /
+                         (1.0 + std::abs(seq_final_cost));
+      if (rel > 1e-9) {
+        std::cerr << "[tokens-threads] PARITY FAILURE: tokens=" << tokens
+                  << " policy=" << policy.name() << " final cost "
+                  << res.final_cost << " != sequential " << seq_final_cost
+                  << " (rel " << rel << ")\n";
+        ok = false;
+      }
+
+      bench::BenchRecord rec;
+      rec.suite = "ablation-tokens-threads";
+      rec.scenario = "fat-tree-k16/tokens" + std::to_string(tokens) + "/" +
+                     policy.name();
+      rec.wall_time_s = sim_wall;
+      rec.cost_reduction_pct = 100.0 * res.reduction();
+      rec.migrations = res.total_migrations;
+      rec.metric("num_vms", static_cast<double>(num_vms));
+      rec.metric("tokens", static_cast<double>(tokens));
+      rec.metric("threads", policy.parallel()
+                                ? static_cast<double>(policy.requested_threads())
+                                : 0.0);
+      // Hardware context: on a single-CPU host par(n) can only show parity
+      // (speedup_vs_par1 ~ 1); the scaling claim needs hw_threads > 1.
+      rec.metric("hw_threads",
+                 static_cast<double>(std::thread::hardware_concurrency()));
+      rec.metric("passes", static_cast<double>(res.iterations.size()));
+      rec.metric("sim_wall_s", sim_wall);
+      rec.metric("sim_duration_s", res.duration_s);
+      rec.metric("final_cost", res.final_cost);
+      if (policy.parallel() && policy.requested_threads() > 1 && par1_wall_s > 0.0) {
+        rec.metric("speedup_vs_par1", par1_wall_s / sim_wall);
+      }
+      report.add(rec);
+      std::cerr << "[tokens-threads] " << rec.scenario << ": " << sim_wall
+                << "s wall, reduction " << rec.cost_reduction_pct << "%, "
+                << rec.migrations << " migrations"
+                << (policy.parallel() && policy.requested_threads() > 1 &&
+                            par1_wall_s > 0.0
+                        ? " (speedup vs par(1): " +
+                              std::to_string(par1_wall_s / sim_wall) + "x)"
+                        : "")
+                << "\n";
+    }
+  }
+  return ok;
+}
+
 // Paper-scale suite (§VI topologies): short Round-Robin runs plus cost-
 // oracle timings at the sizes the paper evaluates. No GA normaliser — the
 // reduction is reported against the initial random placement.
@@ -240,38 +375,23 @@ void run_paper_scale(bench::JsonReport& report) {
     core::CachedCostModel model(topology, core::LinkWeights::exponential(3));
     core::CostModel brute(topology, core::LinkWeights::exponential(3));
 
-    // Paper §VI: 16 VM slots per host, fleet at 50% slot occupancy.
-    core::ServerCapacity cap;
-    cap.vm_slots = 16;
-    cap.ram_mb = 16 * 256.0;
-    cap.cpu_cores = 16.0;
-    const std::size_t num_vms = topology.num_hosts() * cap.vm_slots / 2;
-
-    traffic::GeneratorConfig gen;
-    gen.num_vms = num_vms;
-    gen.mean_service_size = 24;
-    gen.intra_service_degree = 4.0;
-    gen.cross_service_prob = 0.3;
-    gen.seed = 42;
-    traffic::TrafficMatrix tm = traffic::generate_traffic(gen);
-
-    util::Rng rng(43);
-    core::Allocation alloc = baselines::make_allocation(
-        topology, cap, num_vms, core::VmSpec{},
-        baselines::PlacementStrategy::kRandom, rng);
+    PaperFleet fleet = make_paper_fleet(topology);
+    const std::size_t num_vms = fleet.num_vms;
+    traffic::TrafficMatrix& tm = fleet.tm;
+    core::Allocation& alloc = fleet.alloc;
     model.bind(alloc, tm);
 
     core::MigrationEngine engine(model);
     core::RoundRobinPolicy rr;
-    core::SimConfig cfg;
+    driver::SimConfig cfg;
     // Fixed iteration count even under --quick: the reduction and migration
     // numbers stay comparable across runs (only the timing reps shrink).
     cfg.iterations = 2;
     cfg.stop_when_stable = false;
-    core::ScoreSimulation sim(engine, rr, alloc, tm);
+    driver::ScoreSimulation sim(engine, rr, alloc, tm);
 
     bench::Stopwatch sim_sw;
-    const core::SimResult res = sim.run(cfg);
+    const driver::SimResult res = sim.run(cfg);
     const double sim_wall = sim_sw.elapsed_s();
 
     // Cost-oracle timings at this scale, post-convergence state.
@@ -321,6 +441,13 @@ int main(int argc, char** argv) {
       g_quick = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n < 1) {
+        std::cerr << "bench_runner: --threads must be >= 1\n";
+        return 2;
+      }
+      g_threads = static_cast<std::size_t>(n);
     } else if (arg == "--scale" && i + 1 < argc) {
       scale = argv[++i];
       if (scale != "default" && scale != "paper") {
@@ -329,7 +456,7 @@ int main(int argc, char** argv) {
       }
     } else {
       std::cerr << "usage: bench_runner [--out FILE] [--quick] "
-                   "[--scale default|paper]\n";
+                   "[--scale default|paper] [--threads N]\n";
       return 2;
     }
   }
@@ -338,10 +465,14 @@ int main(int argc, char** argv) {
   score::bench::JsonReport report;
   report.set_scale_label(scale);
   score::bench::Stopwatch total;
+  bool ok = true;
   run_fig2(report);
   run_fig3(report);
   run_micro(report);
-  if (g_paper_suite) run_paper_scale(report);
+  if (g_paper_suite) {
+    run_paper_scale(report);
+    ok = run_tokens_threads(report) && ok;
+  }
 
   std::ofstream out(out_path);
   if (!out) {
@@ -351,5 +482,9 @@ int main(int argc, char** argv) {
   report.write(out);
   std::cerr << "wrote " << report.size() << " results to " << out_path
             << " in " << total.elapsed_s() << "s\n";
+  if (!ok) {
+    std::cerr << "bench_runner: FAILED (tokens-threads cost parity violated)\n";
+    return 1;
+  }
   return 0;
 }

@@ -12,15 +12,16 @@
 //   score_cli --topology canonical --racks 128 --hosts-per-rack 20 \
 //             --vms 4096 --intensity dense --series
 //   score_cli --distributed --vms 128 --iterations 3
+//   score_cli --topology fattree --k 16 --vms 8192 --tokens 16 --threads 4
 #include <fstream>
 #include <iostream>
 
 #include "baselines/ga_optimizer.hpp"
 #include "baselines/placement.hpp"
 #include "core/metrics.hpp"
-#include "core/multi_token.hpp"
+#include "driver/multi_token.hpp"
 #include "core/scenario_io.hpp"
-#include "core/simulation.hpp"
+#include "driver/simulation.hpp"
 #include "core/token_policy.hpp"
 #include "hypervisor/distributed_runtime.hpp"
 #include "topology/canonical_tree.hpp"
@@ -28,6 +29,7 @@
 #include "topology/leaf_spine.hpp"
 #include "traffic/generator.hpp"
 #include "util/csv.hpp"
+#include "util/exec_policy.hpp"
 #include "util/flags.hpp"
 
 namespace {
@@ -89,6 +91,9 @@ int main(int argc, char** argv) {
   flags.add_string("placement", "random", "initial placement: random | round-robin | packed");
   flags.add_string("policy", "hlf", "token policy: rr | hlf | random | htf");
   flags.add_int("tokens", 1, "concurrent tokens (>1 uses the multi-token extension, RR order)");
+  flags.add_int("threads", 0,
+                "worker threads for multi-token shard walks (0 = sequential; "
+                "results are identical for every thread count)");
   flags.add_int("iterations", 8, "max token-passing iterations");
   flags.add_double("cm", 0.0, "migration cost c_m (cost units)");
   flags.add_bool("ga", false, "also run the GA normaliser and report the ratio");
@@ -146,7 +151,7 @@ int main(int argc, char** argv) {
     ecfg.migration_cost = flags.get_double("cm");
     core::MigrationEngine engine(model, ecfg);
 
-    core::SimResult result;
+    driver::SimResult result;
     if (flags.get_bool("distributed")) {
       hypervisor::RuntimeConfig rcfg;
       rcfg.policy = flags.get_string("policy") == "rr" ||
@@ -168,16 +173,20 @@ int main(int argc, char** argv) {
     }
 
     if (flags.get_int("tokens") > 1) {
-      core::MultiTokenConfig mcfg;
+      driver::MultiTokenConfig mcfg;
       mcfg.tokens = static_cast<std::size_t>(flags.get_int("tokens"));
       mcfg.iterations = static_cast<std::size_t>(flags.get_int("iterations"));
-      core::MultiTokenSimulation sim(engine, alloc, tm);
+      const int threads = flags.get_int("threads");
+      mcfg.policy = threads > 0
+                        ? util::ExecPolicy::par(static_cast<std::size_t>(threads))
+                        : util::ExecPolicy::seq();
+      driver::MultiTokenSimulation sim(engine, alloc, tm);
       result = sim.run(mcfg);
     } else {
       auto policy = core::make_policy(flags.get_string("policy"), gen.seed);
-      core::SimConfig scfg;
+      driver::SimConfig scfg;
       scfg.iterations = static_cast<std::size_t>(flags.get_int("iterations"));
-      core::ScoreSimulation sim(engine, *policy, alloc, tm);
+      driver::ScoreSimulation sim(engine, *policy, alloc, tm);
       result = sim.run(scfg);
     }
 
