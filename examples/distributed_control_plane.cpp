@@ -14,6 +14,7 @@
 #include "baselines/placement.hpp"
 #include "hypervisor/distributed_runtime.hpp"
 #include "hypervisor/ipam.hpp"
+#include "hypervisor/token_codec.hpp"
 #include "topology/canonical_tree.hpp"
 #include "traffic/generator.hpp"
 
@@ -66,7 +67,7 @@ int main() {
   std::printf("\ncontrol-plane footprint:\n");
   std::printf("  token messages    : %llu (one per hold; token = %zu bytes)\n",
               static_cast<unsigned long long>(res.token_messages),
-              4 + 5 * tm.num_vms());
+              hypervisor::token_frame_bytes(tm.num_vms()));
   std::printf("  location messages : %llu (request+response per peer probe)\n",
               static_cast<unsigned long long>(res.location_messages));
   std::printf("  capacity messages : %llu (request+response per candidate)\n",

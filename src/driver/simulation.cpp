@@ -82,4 +82,15 @@ SimResult ScoreSimulation::run(const SimConfig& config) {
   return result;
 }
 
+ConvergenceReport summarize(const SimResult& result) {
+  ConvergenceReport report;
+  report.mode = "centralized";
+  report.initial_cost = result.initial_cost;
+  report.final_cost = result.final_cost;
+  report.rounds = result.iterations.size();
+  report.migrations = result.total_migrations;
+  report.duration_s = result.duration_s;
+  return report;
+}
+
 }  // namespace score::driver

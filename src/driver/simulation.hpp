@@ -19,6 +19,7 @@
 
 #include "core/migration_engine.hpp"
 #include "core/token_policy.hpp"
+#include "driver/convergence.hpp"
 #include "sim/event_queue.hpp"
 
 namespace score::driver {
@@ -83,6 +84,10 @@ struct SimResult {
     return initial_cost > 0.0 ? 1.0 - final_cost / initial_cost : 0.0;
   }
 };
+
+/// Summary of a centralized driver run (ScoreSimulation / MultiTokenSimulation
+/// both produce SimResult) as the mode-independent convergence report.
+ConvergenceReport summarize(const SimResult& result);
 
 class ScoreSimulation {
  public:

@@ -1,16 +1,20 @@
 #include "hypervisor/distributed_runtime.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <optional>
 #include <stdexcept>
 #include <tuple>
 #include <unordered_map>
 
+#include "hypervisor/token_codec.hpp"
+#include "util/rng.hpp"
+
 namespace score::hypervisor {
 
 namespace {
 
-// ---- wire helpers ----------------------------------------------------------
+// ---- wire helpers for the probe payloads ------------------------------------
 
 void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
   buf.push_back(static_cast<std::uint8_t>(v));
@@ -26,69 +30,37 @@ std::uint32_t get_u32(const std::vector<std::uint8_t>& buf, std::size_t pos) {
          (static_cast<std::uint32_t>(buf[pos + 3]) << 24);
 }
 
-// Token entry status byte: bit 7 = "checked this round" (Algorithm 1 line
-// 15's bookkeeping), bits 0..6 = communication level.
-constexpr std::uint8_t kCheckedBit = 0x80;
-
-struct WireEntry {
-  Ipv4 vm = 0;
-  std::uint8_t level = 0;
-  bool checked = false;
-};
-
-std::vector<std::uint8_t> encode_token(Ipv4 holder,
-                                       const std::vector<WireEntry>& entries) {
-  std::vector<std::uint8_t> buf;
-  buf.reserve(4 + entries.size() * 5);
-  put_u32(buf, holder);
-  for (const WireEntry& e : entries) {
-    put_u32(buf, e.vm);
-    buf.push_back(static_cast<std::uint8_t>(e.level |
-                                            (e.checked ? kCheckedBit : 0)));
-  }
-  return buf;
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;
+  return h;
 }
 
-std::pair<Ipv4, std::vector<WireEntry>> decode_token(
-    const std::vector<std::uint8_t>& buf) {
-  if (buf.size() < 4 || (buf.size() - 4) % 5 != 0) {
-    throw std::invalid_argument("distributed token: truncated buffer");
-  }
-  const Ipv4 holder = get_u32(buf, 0);
-  std::vector<WireEntry> entries;
-  entries.reserve((buf.size() - 4) / 5);
-  for (std::size_t pos = 4; pos < buf.size(); pos += 5) {
-    WireEntry e;
-    e.vm = get_u32(buf, pos);
-    e.level = buf[pos + 4] & ~kCheckedBit;
-    e.checked = (buf[pos + 4] & kCheckedBit) != 0;
-    if (!entries.empty() && e.vm <= entries.back().vm) {
-      throw std::invalid_argument("distributed token: ids not ascending");
-    }
-    entries.push_back(e);
-  }
-  return {holder, std::move(entries)};
+std::uint64_t fnv1a_bytes(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint8_t b : bytes) h = fnv1a(h, b);
+  return h;
 }
 
 // ---- token policies over pure token state -----------------------------------
 
-std::size_t index_of(const std::vector<WireEntry>& entries, Ipv4 vm) {
+std::size_t index_of(const std::vector<TokenWireEntry>& entries, Ipv4 vm) {
   const auto it = std::lower_bound(
       entries.begin(), entries.end(), vm,
-      [](const WireEntry& e, Ipv4 v) { return e.vm < v; });
-  if (it == entries.end() || it->vm != vm) {
+      [](const TokenWireEntry& e, Ipv4 v) { return e.vm_id < v; });
+  if (it == entries.end() || it->vm_id != vm) {
     throw std::logic_error("token does not contain the holder VM");
   }
   return static_cast<std::size_t>(it - entries.begin());
 }
 
-Ipv4 next_round_robin(const std::vector<WireEntry>& entries, Ipv4 holder) {
+Ipv4 next_round_robin(const std::vector<TokenWireEntry>& entries, Ipv4 holder) {
   const std::size_t i = index_of(entries, holder);
-  return entries[(i + 1) % entries.size()].vm;
+  return entries[(i + 1) % entries.size()].vm_id;
 }
 
 /// Algorithm 1 with the per-round checked bits carried in the token.
-Ipv4 next_highest_level_first(std::vector<WireEntry>& entries, Ipv4 holder) {
+Ipv4 next_highest_level_first(std::vector<TokenWireEntry>& entries, Ipv4 holder) {
   const std::size_t n = entries.size();
   const std::size_t h = index_of(entries, holder);
   entries[h].checked = true;
@@ -96,30 +68,30 @@ Ipv4 next_highest_level_first(std::vector<WireEntry>& entries, Ipv4 holder) {
 
   const bool all_checked =
       std::all_of(entries.begin(), entries.end(),
-                  [](const WireEntry& e) { return e.checked; });
+                  [](const TokenWireEntry& e) { return e.checked; });
   if (!all_checked) {
     for (int cl = entries[h].level; cl >= 0; --cl) {
       for (std::size_t step = 1; step < n; ++step) {
-        const WireEntry& z = entries[(h + step) % n];
-        if (!z.checked && z.level == cl) return z.vm;
+        const TokenWireEntry& z = entries[(h + step) % n];
+        if (!z.checked && z.level == cl) return z.vm_id;
       }
     }
     // Unchecked VMs remain only above the holder's level.
-    const WireEntry* best = nullptr;
-    for (const WireEntry& e : entries) {
+    const TokenWireEntry* best = nullptr;
+    for (const TokenWireEntry& e : entries) {
       if (!e.checked && (best == nullptr || e.level > best->level)) best = &e;
     }
-    if (best != nullptr) return best->vm;
+    if (best != nullptr) return best->vm_id;
   }
 
   // New round: clear checked, restart from the lowest-id max-level VM.
-  for (WireEntry& e : entries) e.checked = false;
+  for (TokenWireEntry& e : entries) e.checked = false;
   std::uint8_t max_level = 0;
-  for (const WireEntry& e : entries) max_level = std::max(max_level, e.level);
-  for (const WireEntry& e : entries) {
-    if (e.level == max_level && e.vm != holder) return e.vm;
+  for (const TokenWireEntry& e : entries) max_level = std::max(max_level, e.level);
+  for (const TokenWireEntry& e : entries) {
+    if (e.level == max_level && e.vm_id != holder) return e.vm_id;
   }
-  return entries[(h + 1) % n].vm;
+  return entries[(h + 1) % n].vm_id;
 }
 
 }  // namespace
@@ -135,19 +107,26 @@ struct DistributedScoreRuntime::Impl {
   sim::EventQueue queue;
   Ipam ipam;
   std::unique_ptr<sim::Network> net;
+  util::Rng migration_rng;
 
   RuntimeResult result;
   std::size_t iter_holds = 0;
   std::size_t iter_migrations = 0;
   bool stopped = false;
   bool use_hlf = false;
+  std::vector<bool> host_up;
 
-  // Watchdog state (placement-manager role): last token wire snapshot and a
-  // progress counter compared between watchdog ticks.
+  // Watchdog state (placement-manager role): last token wire snapshot plus
+  // activity counters compared between retransmission-timeout ticks. The
+  // token is declared lost — and re-injected — only on true quiescence:
+  // no hold completed, no control message moved (probe retransmissions are
+  // progress), and no token send is waiting out a migration transfer.
   std::vector<std::uint8_t> last_token_payload;
-  topo::HostId last_token_dst = 0;
   std::uint64_t total_holds = 0;
   std::uint64_t holds_at_last_check = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t sends_at_last_check = 0;
+  std::size_t scheduled_token_sends = 0;
 
   // ---- per-host dom0 agent ---------------------------------------------------
   struct Agent {
@@ -160,14 +139,17 @@ struct DistributedScoreRuntime::Impl {
       double free_ram_mb = 0.0;
       double free_cpu = 0.0;
       double free_net_bps = 0.0;
-      bool received = false;
     };
 
+    /// Probe stages of one decision; each stage arms its own timeout.
+    enum Stage { kLocations = 0, kCapacities = 1 };
+
     struct PendingDecision {
-      Ipv4 vm = 0;
+      Token token;              ///< the decoded frame being held
       std::uint32_t nonce = 0;  ///< discriminates probe responses across
                                 ///< restarted decision attempts (watchdog)
-      std::vector<WireEntry> entries;
+      Stage stage = kLocations;
+      std::size_t retries_left = 0;  ///< probe retransmissions, current stage
       /// Measured per-peer traffic loads λ(z,u) (TM rate units).
       std::vector<std::pair<Ipv4, double>> peer_rates;
       std::unordered_map<Ipv4, Ipv4> peer_dom0;  ///< peer VM -> its dom0 addr
@@ -181,15 +163,23 @@ struct DistributedScoreRuntime::Impl {
 
     void on_message(const sim::Message& msg);
     void on_token(const sim::Message& msg);
+    void send_location_probes();
+    void send_capacity_probes();
+    void arm_probe_timer(Stage stage);
     void on_locations_complete();
     void on_capacities_complete();
-    void finish_hold(bool migrated);
+    void finish_hold(bool migrated, double migration_time_s);
   };
   std::vector<Agent> agents;
 
   Impl(const core::CostModel& m, core::Allocation& a,
        const traffic::TrafficMatrix& t, RuntimeConfig c)
-      : model(&m), alloc(&a), tm(&t), cfg(std::move(c)), ipam(m.topology()) {
+      : model(&m),
+        alloc(&a),
+        tm(&t),
+        cfg(std::move(c)),
+        ipam(m.topology()),
+        migration_rng(cfg.migration_seed) {
     if (alloc->num_vms() != tm->num_vms()) {
       throw std::invalid_argument("DistributedScoreRuntime: alloc/TM mismatch");
     }
@@ -199,10 +189,21 @@ struct DistributedScoreRuntime::Impl {
       throw std::invalid_argument("DistributedScoreRuntime: unknown policy '" +
                                   cfg.policy + "'");
     }
-    net = std::make_unique<sim::Network>(queue, model->topology());
+    for (const ChurnEvent& ev : cfg.churn) {
+      if (ev.host >= model->topology().num_hosts()) {
+        throw std::invalid_argument("DistributedScoreRuntime: churn host out of range");
+      }
+      if (ev.time_s < 0.0) {
+        throw std::invalid_argument("DistributedScoreRuntime: churn time negative");
+      }
+    }
+    net = std::make_unique<sim::Network>(queue, model->topology(),
+                                         cfg.per_hop_latency_s,
+                                         cfg.loopback_latency_s);
     for (core::VmId vm = 0; vm < alloc->num_vms(); ++vm) {
       ipam.allocate_vm(alloc->server_of(vm));
     }
+    host_up.assign(model->topology().num_hosts(), true);
     agents.resize(model->topology().num_hosts());
     for (topo::HostId h = 0; h < agents.size(); ++h) {
       agents[h].rt = this;
@@ -211,6 +212,33 @@ struct DistributedScoreRuntime::Impl {
         agents[h].on_message(msg);
       });
     }
+    // Determinism seam: fold every send (including dropped ones) into the
+    // trace hash, in send order, before the fabric takes over. The
+    // always-on hash covers the structural fields only — timestamps,
+    // endpoints, types, sizes, loss — which any payload-level divergence
+    // perturbs within a hop; hashing the payload bytes themselves (GBs per
+    // paper-scale run, the token frame is O(|V|)) is paid only when the
+    // verbatim trace was asked for.
+    net->set_observer([this](const sim::Message& msg, bool lost) {
+      TraceEntry entry;
+      entry.time_s = queue.now();
+      entry.type = static_cast<std::uint8_t>(msg.type);
+      entry.src = msg.src;
+      entry.dst = msg.dst;
+      entry.bytes = static_cast<std::uint32_t>(msg.payload.size());
+      entry.payload_hash = cfg.record_trace ? fnv1a_bytes(msg.payload) : 0;
+      entry.lost = lost;
+      std::uint64_t h = result.trace_hash == 0 ? 1469598103934665603ull
+                                               : result.trace_hash;
+      h = fnv1a(h, std::bit_cast<std::uint64_t>(entry.time_s));
+      h = fnv1a(h, entry.type);
+      h = fnv1a(h, (static_cast<std::uint64_t>(entry.src) << 32) | entry.dst);
+      h = fnv1a(h, entry.bytes);
+      h = fnv1a(h, entry.payload_hash);
+      h = fnv1a(h, entry.lost ? 1 : 0);
+      result.trace_hash = h;
+      if (cfg.record_trace) result.trace.push_back(entry);
+    });
   }
 
   core::VmId vm_id(Ipv4 addr) const {
@@ -218,15 +246,23 @@ struct DistributedScoreRuntime::Impl {
   }
   Ipv4 vm_addr(core::VmId id) const { return Ipam::kVmBase + id; }
 
+  bool watchdog_armed() const {
+    return cfg.message_loss_rate > 0.0 || !cfg.churn.empty();
+  }
+
   void send(CtrlMsg type, topo::HostId from, topo::HostId to,
             std::vector<std::uint8_t> payload) {
+    ++sends;
     if (type == CtrlMsg::kToken) {
-      // Placement-manager bookkeeping for watchdog recovery.
-      last_token_payload = payload;
-      last_token_dst = to;
+      // Placement-manager bookkeeping for retransmission recovery — the
+      // O(|V|) snapshot copy is only taken when a watchdog exists to read
+      // it (fault-free runs skip ~token_bytes of dead memcpy).
+      if (watchdog_armed()) last_token_payload = payload;
+      ++result.token_messages;
+      result.token_bytes += payload.size();
     }
     switch (type) {
-      case CtrlMsg::kToken: ++result.token_messages; break;
+      case CtrlMsg::kToken: break;
       case CtrlMsg::kLocationRequest:
       case CtrlMsg::kLocationResponse: ++result.location_messages; break;
       case CtrlMsg::kCapacityRequest:
@@ -258,44 +294,158 @@ struct DistributedScoreRuntime::Impl {
       iter_holds = 0;
       iter_migrations = 0;
       if (result.iterations.size() >= cfg.iterations || stable) {
-        stopped = true;
+        stop_run();
         return false;
       }
     }
     return true;
   }
 
+  void stop_run() {
+    if (stopped) return;
+    stopped = true;
+    result.duration_s = queue.now();
+  }
+
+  /// Pre-copy transfer for one VM: the config's model rescaled to the VM's
+  /// RAM (working set and stop-and-copy threshold scale proportionally).
+  MigrationOutcome simulate_migration(const core::VmSpec& spec) {
+    MigrationModelConfig mc = cfg.migration_model;
+    const double scale =
+        spec.ram_mb > 0.0 && mc.vm_ram_mb > 0.0 ? spec.ram_mb / mc.vm_ram_mb : 1.0;
+    mc.vm_ram_mb = spec.ram_mb;
+    mc.working_set_mean_mb *= scale;
+    mc.working_set_std_mb *= scale;
+    mc.stop_copy_threshold_mb *= scale;
+    const PreCopyMigrationModel precopy(mc);
+    return precopy.simulate(migration_rng, cfg.background_load);
+  }
+
+  // ---- failure recovery ------------------------------------------------------
+
   void watchdog_tick() {
     if (stopped) return;
-    if (total_holds == holds_at_last_check && !last_token_payload.empty()) {
-      // No hold completed since the last tick: the token (or a probe it was
-      // waiting on) was lost. Re-inject the last snapshot; the receiving
-      // agent restarts its decision idempotently.
+    const bool quiescent = total_holds == holds_at_last_check &&
+                           sends == sends_at_last_check &&
+                           scheduled_token_sends == 0;
+    if (quiescent && !last_token_payload.empty()) {
+      // Nothing moved for a whole tick: the token was lost in flight (or its
+      // destination host left). Re-inject the last snapshot at the holder
+      // VM's *current* host; the receiving agent restarts its decision
+      // idempotently. A hold still retransmitting probes or waiting out a
+      // migration transfer is progress, not loss — it is left alone.
+      Token tok = decode_token(last_token_payload);
+      topo::HostId dst = ipam.vm_host(tok.holder);
+      if (!host_up[dst]) {
+        // The holder VM is stranded on a departed host (its drain found no
+        // feasible target). Hand the token to the next reachable entry in
+        // id order — the placement manager's recovery need not follow the
+        // forwarding policy — or end the run when no host is left.
+        const std::size_t n = tok.entries.size();
+        std::size_t start = 0;
+        while (start < n && tok.entries[start].vm_id != tok.holder) ++start;
+        bool found = false;
+        for (std::size_t step = 1; step <= n && !found; ++step) {
+          const Ipv4 vm = tok.entries[(start + step) % n].vm_id;
+          const topo::HostId h = ipam.vm_host(vm);
+          if (host_up[h]) {
+            tok.holder = vm;
+            dst = h;
+            found = true;
+          }
+        }
+        if (!found) {
+          stop_run();
+          return;
+        }
+        last_token_payload = encode_token(tok);
+      }
       ++result.token_reinjections;
-      send(CtrlMsg::kToken, last_token_dst, last_token_dst, last_token_payload);
+      send(CtrlMsg::kToken, dst, dst, last_token_payload);
     }
     holds_at_last_check = total_holds;
-    queue.schedule_in(cfg.watchdog_interval_s, [this] { watchdog_tick(); });
+    sends_at_last_check = sends;
+    queue.schedule_in(cfg.retransmit_timeout_s, [this] { watchdog_tick(); });
+  }
+
+  // ---- host churn (placement-manager role) -----------------------------------
+
+  void host_leave(topo::HostId h) {
+    if (stopped || !host_up[h]) return;
+    host_up[h] = false;
+    net->detach(h);
+    agents[h].pending.reset();
+    agents[h].flows.clear();
+    // Drain: live-migrate every hosted VM to the feasible up host with the
+    // best Lemma-3 delta (traffic-aware evacuation). VMs with no feasible
+    // target stay put — the forwarding path skips unreachable holders.
+    const std::vector<core::VmId> victims = alloc->vms_on(h);
+    for (const core::VmId vm : victims) {
+      const core::VmSpec& spec = alloc->spec(vm);
+      core::ServerId best = core::kInvalidServer;
+      double best_delta = 0.0;
+      for (core::ServerId s = 0; s < alloc->num_servers(); ++s) {
+        if (s == h || !host_up[s] || !alloc->can_host(s, spec)) continue;
+        const double delta = model->migration_delta(*alloc, *tm, vm, s);
+        if (best == core::kInvalidServer || delta > best_delta) {
+          best = s;
+          best_delta = delta;
+        }
+      }
+      if (best == core::kInvalidServer) continue;
+      // Drain transfers ride the same pre-copy model as token-driven
+      // migrations and count toward migrated_mb/migration_time_s. They are
+      // *not* budget-gated: evacuating a departing host is mandatory, the
+      // budget prices optional optimization moves only.
+      const MigrationOutcome outcome = simulate_migration(spec);
+      result.migrated_mb += outcome.migrated_mb;
+      result.migration_time_s += outcome.total_time_s;
+      model->apply_migration(*alloc, *tm, vm, best);
+      ipam.move_vm(vm_addr(vm), best);
+      ++result.evacuations;
+    }
+  }
+
+  void host_join(topo::HostId h) {
+    if (host_up[h]) return;
+    host_up[h] = true;
+    net->attach(h, [this, h](const sim::Message& msg) {
+      agents[h].on_message(msg);
+    });
   }
 
   RuntimeResult run() {
     result.initial_cost = model->total_cost(*alloc, *tm);
     if (cfg.message_loss_rate > 0.0) {
       net->set_loss(cfg.message_loss_rate, cfg.loss_seed);
-      queue.schedule_in(cfg.watchdog_interval_s, [this] { watchdog_tick(); });
+    }
+    if (watchdog_armed()) {
+      queue.schedule_in(cfg.retransmit_timeout_s, [this] { watchdog_tick(); });
+    }
+    for (const ChurnEvent& ev : cfg.churn) {
+      queue.schedule_at(ev.time_s, [this, ev] {
+        if (ev.leave) {
+          host_leave(ev.host);
+        } else {
+          host_join(ev.host);
+        }
+      });
     }
     // The placement manager injects the token at the lowest-id VM with all
-    // levels initialised to zero (§V-A).
-    std::vector<WireEntry> entries(tm->num_vms());
+    // levels initialised to zero (§V-A), epoch 0, ring position 0.
+    Token token;
+    token.policy = use_hlf ? TokenPolicyId::kHighestLevelFirst
+                           : TokenPolicyId::kRoundRobin;
+    token.holder = vm_addr(0);
+    token.entries.resize(tm->num_vms());
     for (core::VmId id = 0; id < tm->num_vms(); ++id) {
-      entries[id].vm = vm_addr(id);
+      token.entries[id].vm_id = vm_addr(id);
     }
-    const Ipv4 first = vm_addr(0);
-    const topo::HostId first_host = ipam.vm_host(first);
-    send(CtrlMsg::kToken, first_host, first_host, encode_token(first, entries));
+    const topo::HostId first_host = ipam.vm_host(token.holder);
+    send(CtrlMsg::kToken, first_host, first_host, encode_token(token));
     queue.run();
+    if (!stopped) result.duration_s = queue.now();
     result.final_cost = model->total_cost(*alloc, *tm);
-    result.duration_s = queue.now();
     result.messages_lost = net->messages_lost();
     return result;
   }
@@ -320,7 +470,10 @@ void DistributedScoreRuntime::Impl::Agent::on_message(const sim::Message& msg) {
       return;
     }
     case CtrlMsg::kLocationResponse: {
-      if (!pending || pending->awaiting_locations == 0) return;
+      if (!pending || pending->stage != kLocations ||
+          pending->awaiting_locations == 0) {
+        return;
+      }
       if (get_u32(msg.payload, 8) != pending->nonce) return;  // stale attempt
       const Ipv4 subject = get_u32(msg.payload, 0);
       const Ipv4 dom0 = get_u32(msg.payload, 4);
@@ -347,7 +500,10 @@ void DistributedScoreRuntime::Impl::Agent::on_message(const sim::Message& msg) {
       return;
     }
     case CtrlMsg::kCapacityResponse: {
-      if (!pending || pending->awaiting_capacities == 0) return;
+      if (!pending || pending->stage != kCapacities ||
+          pending->awaiting_capacities == 0) {
+        return;
+      }
       if (get_u32(msg.payload, 0) != pending->nonce) return;  // stale attempt
       const Ipv4 who = get_u32(msg.payload, 4);
       if (pending->capacities.count(who)) return;  // duplicate
@@ -356,7 +512,6 @@ void DistributedScoreRuntime::Impl::Agent::on_message(const sim::Message& msg) {
       info.free_ram_mb = get_u32(msg.payload, 12);
       info.free_cpu = get_u32(msg.payload, 16) / 1000.0;
       info.free_net_bps = get_u32(msg.payload, 20) * 1000.0;
-      info.received = true;
       pending->capacities[who] = info;
       if (--pending->awaiting_capacities == 0) on_capacities_complete();
       return;
@@ -366,19 +521,33 @@ void DistributedScoreRuntime::Impl::Agent::on_message(const sim::Message& msg) {
 
 void DistributedScoreRuntime::Impl::Agent::on_token(const sim::Message& msg) {
   if (rt->stopped) return;
-  auto [holder, entries] = decode_token(msg.payload);
+  Token token = decode_token(msg.payload);
+
+  // A token can land on a stale host when the holder VM was drained while the
+  // token was in flight (churn): the NAT redirect forwards it to the VM's
+  // current hypervisor.
+  const topo::HostId holder_host = rt->ipam.vm_host(token.holder);
+  if (holder_host != host) {
+    rt->send(CtrlMsg::kToken, host, holder_host,
+             std::vector<std::uint8_t>(msg.payload));
+    return;
+  }
 
   PendingDecision p;
-  p.vm = holder;
+  p.token = std::move(token);
   p.nonce = next_nonce++;
-  p.entries = std::move(entries);
 
   // §V-B.1/3: poll the datapath into the flow table, then aggregate the
   // per-peer throughput over the measurement window. Ground-truth byte
-  // counters come from the TM (the simulated Open vSwitch).
+  // counters come from the TM (the simulated Open vSwitch). Entries that
+  // predate the window — left by drained VMs or aborted decision attempts —
+  // are expired first so they cannot skew the aggregation (and the table
+  // stays bounded on long runs).
+  const Ipv4 holder = p.token.holder;
   const core::VmId u = rt->vm_id(holder);
   const double now = rt->queue.now();
   const double window = rt->cfg.measurement_window_s;
+  flows.evict_idle(now - window);
   for (const auto& [peer, rate] : rt->tm->neighbors(u)) {
     FlowKey key;
     key.src_ip = holder;
@@ -397,26 +566,101 @@ void DistributedScoreRuntime::Impl::Agent::on_token(const sim::Message& msg) {
 
   pending = std::move(p);
   if (pending->peer_rates.empty()) {
-    finish_hold(false);
+    finish_hold(false, 0.0);
     return;
   }
 
   // §V-B.4: probe every communicating VM for its dom0 location.
-  pending->awaiting_locations = pending->peer_rates.size();
-  for (const auto& [peer_ip, rate] : pending->peer_rates) {
+  pending->stage = kLocations;
+  pending->retries_left = rt->cfg.probe_retries;
+  send_location_probes();
+}
+
+/// Send location requests for every peer still missing a response and arm
+/// the stage timeout (first attempt and retransmissions alike).
+void DistributedScoreRuntime::Impl::Agent::send_location_probes() {
+  PendingDecision& p = *pending;
+  p.awaiting_locations = 0;
+  for (const auto& [peer_ip, rate] : p.peer_rates) {
     (void)rate;
+    if (p.peer_dom0.count(peer_ip)) continue;  // already answered
+    ++p.awaiting_locations;
     std::vector<std::uint8_t> payload;
     put_u32(payload, peer_ip);
-    put_u32(payload, pending->nonce);
+    put_u32(payload, p.nonce);
     // The fabric routes the probe to the peer VM's current host.
     rt->send(CtrlMsg::kLocationRequest, host, rt->ipam.vm_host(peer_ip),
              std::move(payload));
   }
+  arm_probe_timer(kLocations);
+}
+
+/// Send capacity requests for every candidate still missing a response and
+/// arm the stage timeout.
+void DistributedScoreRuntime::Impl::Agent::send_capacity_probes() {
+  PendingDecision& p = *pending;
+  p.awaiting_capacities = 0;
+  for (Ipv4 dom0 : p.candidates) {
+    if (p.capacities.count(dom0)) continue;  // already answered
+    ++p.awaiting_capacities;
+    std::vector<std::uint8_t> payload;
+    put_u32(payload, p.nonce);
+    rt->send(CtrlMsg::kCapacityRequest, host, rt->ipam.host_of_address(dom0),
+             std::move(payload));
+  }
+  arm_probe_timer(kCapacities);
+}
+
+/// Probe timeout: when responses are lost (or their hosts left), the holder
+/// retransmits the unanswered probes; with the retry budget spent it decides
+/// from the answers it has instead of stalling the whole loop.
+void DistributedScoreRuntime::Impl::Agent::arm_probe_timer(Stage stage) {
+  const std::uint32_t nonce = pending->nonce;
+  rt->queue.schedule_in(rt->cfg.probe_timeout_s, [this, nonce, stage] {
+    if (rt->stopped || !pending || pending->nonce != nonce ||
+        pending->stage != stage) {
+      return;
+    }
+    if (stage == kLocations && pending->awaiting_locations > 0) {
+      if (pending->retries_left > 0) {
+        --pending->retries_left;
+        rt->result.probe_retransmits += pending->awaiting_locations;
+        send_location_probes();
+        return;
+      }
+      ++rt->result.probe_timeouts;
+      pending->awaiting_locations = 0;
+      // Peers that never answered are invisible this round: drop them from
+      // the measured set so the Lemma-3 delta only uses confirmed locations.
+      auto& rates = pending->peer_rates;
+      rates.erase(std::remove_if(rates.begin(), rates.end(),
+                                 [this](const std::pair<Ipv4, double>& pr) {
+                                   return pending->peer_dom0.count(pr.first) == 0;
+                                 }),
+                  rates.end());
+      on_locations_complete();
+    } else if (stage == kCapacities && pending->awaiting_capacities > 0) {
+      if (pending->retries_left > 0) {
+        --pending->retries_left;
+        rt->result.probe_retransmits += pending->awaiting_capacities;
+        send_capacity_probes();
+        return;
+      }
+      ++rt->result.probe_timeouts;
+      pending->awaiting_capacities = 0;
+      on_capacities_complete();
+    }
+  });
 }
 
 void DistributedScoreRuntime::Impl::Agent::on_locations_complete() {
   PendingDecision& p = *pending;
   const Ipv4 own_dom0 = rt->ipam.host_address(host);
+
+  if (p.peer_rates.empty()) {  // every location probe timed out
+    finish_hold(false, 0.0);
+    return;
+  }
 
   // Update the token's communication-level entries (Algorithm 1 lines 1-5):
   // own entry exactly, peers' entries raised only.
@@ -426,12 +670,12 @@ void DistributedScoreRuntime::Impl::Agent::on_locations_complete() {
     const Ipv4 peer_dom0 = p.peer_dom0.at(peer_ip);
     const int level = rt->ipam.level_between(own_dom0, peer_dom0);
     own_level = std::max(own_level, level);
-    auto& entry = p.entries[index_of(p.entries, peer_ip)];
+    auto& entry = p.token.entries[index_of(p.token.entries, peer_ip)];
     entry.level = std::max<std::uint8_t>(entry.level,
                                          static_cast<std::uint8_t>(level));
     if (level > 0) ranked.emplace_back(level, rate, peer_dom0);
   }
-  p.entries[index_of(p.entries, p.vm)].level =
+  p.token.entries[index_of(p.token.entries, p.token.holder)].level =
       static_cast<std::uint8_t>(own_level);
 
   // §V-B.5: candidate hypervisors ranked from the highest communication
@@ -466,21 +710,17 @@ void DistributedScoreRuntime::Impl::Agent::on_locations_complete() {
   }
 
   if (p.candidates.empty()) {
-    finish_hold(false);
+    finish_hold(false, 0.0);
     return;
   }
-  p.awaiting_capacities = p.candidates.size();
-  for (Ipv4 dom0 : p.candidates) {
-    std::vector<std::uint8_t> payload;
-    put_u32(payload, p.nonce);
-    rt->send(CtrlMsg::kCapacityRequest, host, rt->ipam.host_of_address(dom0),
-             std::move(payload));
-  }
+  p.stage = kCapacities;
+  p.retries_left = rt->cfg.probe_retries;
+  send_capacity_probes();
 }
 
 void DistributedScoreRuntime::Impl::Agent::on_capacities_complete() {
   PendingDecision& p = *pending;
-  const core::VmId u = rt->vm_id(p.vm);
+  const core::VmId u = rt->vm_id(p.token.holder);
   const core::VmSpec& spec = rt->alloc->spec(u);
   const Ipv4 own_dom0 = rt->ipam.host_address(host);
   const auto& weights = rt->model->weights();
@@ -489,7 +729,9 @@ void DistributedScoreRuntime::Impl::Agent::on_capacities_complete() {
   double best_delta = 0.0;
   bool have_best = false;
   for (Ipv4 cand : p.candidates) {
-    const CapInfo& cap = p.capacities.at(cand);
+    const auto cap_it = p.capacities.find(cand);
+    if (cap_it == p.capacities.end()) continue;  // probe lost / host gone
+    const CapInfo& cap = cap_it->second;
     if (cap.free_slots == 0 || cap.free_ram_mb < spec.ram_mb ||
         cap.free_cpu < spec.cpu_cores ||
         cap.free_net_bps <
@@ -511,47 +753,111 @@ void DistributedScoreRuntime::Impl::Agent::on_capacities_complete() {
     }
   }
 
-  // Theorem 1.
+  // Theorem 1, then the migration-cost budget: a win that would overrun the
+  // remaining pre-copy byte budget is rejected (strictly cost-reducing moves
+  // only, and only as many as the operator priced in).
   if (have_best && best_delta > rt->cfg.engine.migration_cost) {
+    // The capacity response may be stale by commit time (the target left, or
+    // a churn drain consumed its last slot while we waited on other probes):
+    // in that case the live-migration handshake with the target hypervisor
+    // fails and the hold ends without a move.
     const topo::HostId target = rt->ipam.host_of_address(best_dom0);
+    if (!rt->host_up[target] || !rt->alloc->can_host(target, spec)) {
+      finish_hold(false, 0.0);
+      return;
+    }
+    const MigrationOutcome outcome = rt->simulate_migration(spec);
+    if (rt->cfg.migration_budget_mb > 0.0 &&
+        rt->result.migrated_mb + outcome.migrated_mb >
+            rt->cfg.migration_budget_mb) {
+      ++rt->result.budget_rejected;
+      finish_hold(false, 0.0);
+      return;
+    }
     rt->model->apply_migration(*rt->alloc, *rt->tm, u, target);
-    rt->ipam.move_vm(p.vm, target);
-    finish_hold(true);
+    rt->ipam.move_vm(p.token.holder, target);
+    rt->result.migrated_mb += outcome.migrated_mb;
+    rt->result.migration_time_s += outcome.total_time_s;
+    ++p.token.epoch;  // allocation epoch advances with every commit
+    p.token.aggregate_delta += best_delta;
+    finish_hold(true, outcome.total_time_s);
   } else {
-    finish_hold(false);
+    finish_hold(false, 0.0);
   }
 }
 
-void DistributedScoreRuntime::Impl::Agent::finish_hold(bool migrated) {
+void DistributedScoreRuntime::Impl::Agent::finish_hold(bool migrated,
+                                                       double migration_time_s) {
   PendingDecision& p = *pending;
-  double busy = rt->cfg.decision_time_s;
-  if (migrated) {
-    const core::VmSpec& spec = rt->alloc->spec(rt->vm_id(p.vm));
-    busy += spec.ram_mb * 1e6 * rt->cfg.precopy_factor * 8.0 /
-                rt->cfg.migration_bandwidth_bps +
-            rt->cfg.migration_overhead_s;
-  }
+  const double busy = rt->cfg.decision_time_s + migration_time_s;
+  ++p.token.ring_pos;
 
-  if (!rt->hold_complete(migrated)) {
+  // Token telemetry: the last completed hold's view is the final one.
+  rt->result.final_epoch = p.token.epoch;
+  rt->result.final_ring_pos = p.token.ring_pos;
+  rt->result.aggregate_delta = p.token.aggregate_delta;
+
+  bool run_on = rt->hold_complete(migrated);
+  Ipv4 next = p.token.holder;
+  if (run_on) {
+    // Forward past VMs stranded on departed hosts (drain failures): each
+    // skipped VM's hold completes trivially at the forwarding agent.
+    for (std::size_t i = 0; run_on && i <= p.token.entries.size(); ++i) {
+      next = rt->use_hlf ? next_highest_level_first(p.token.entries, next)
+                         : next_round_robin(p.token.entries, next);
+      if (rt->host_up[rt->ipam.vm_host(next)]) break;
+      ++p.token.ring_pos;
+      rt->result.final_ring_pos = p.token.ring_pos;
+      run_on = rt->hold_complete(false);
+    }
+  }
+  if (!run_on) {
+    pending.reset();
+    return;
+  }
+  if (!rt->host_up[rt->ipam.vm_host(next)]) {
+    // Every remaining entry is stranded on departed hosts: no reachable
+    // holder exists, so the run cannot make further progress.
+    rt->stop_run();
     pending.reset();
     return;
   }
 
-  const Ipv4 next = rt->use_hlf ? next_highest_level_first(p.entries, p.vm)
-                                : next_round_robin(p.entries, p.vm);
-  auto payload = encode_token(next, p.entries);
+  p.token.holder = next;
+  auto payload = encode_token(p.token);
   const topo::HostId next_host = rt->ipam.vm_host(next);
-  // The token leaves after the dom0 work (and any migration) completes.
+  // The token leaves after the dom0 work (and any migration) completes; the
+  // watchdog sees the scheduled send and does not mistake the transfer time
+  // for a lost token.
   auto* impl = rt;
   const topo::HostId from = host;
+  ++rt->scheduled_token_sends;
   rt->queue.schedule_in(busy, [impl, from, next_host,
                                buf = std::move(payload)]() mutable {
+    --impl->scheduled_token_sends;
+    if (impl->stopped) return;
     impl->send(CtrlMsg::kToken, from, next_host, std::move(buf));
   });
   pending.reset();
 }
 
 // ---- public wrapper ----------------------------------------------------------
+
+driver::ConvergenceReport RuntimeResult::report() const {
+  driver::ConvergenceReport report;
+  report.mode = "distributed";
+  report.initial_cost = initial_cost;
+  report.final_cost = final_cost;
+  report.rounds = iterations.size();
+  report.migrations = total_migrations;
+  report.duration_s = duration_s;
+  report.token_messages = token_messages;
+  report.token_bytes = token_bytes;
+  report.control_messages =
+      token_messages + location_messages + capacity_messages;
+  report.control_bytes = control_bytes;
+  return report;
+}
 
 DistributedScoreRuntime::DistributedScoreRuntime(const core::CostModel& model,
                                                  core::Allocation& alloc,

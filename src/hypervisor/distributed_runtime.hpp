@@ -2,9 +2,11 @@
 // message-passing dom0 agents over the simulated fabric.
 //
 // Each host runs a Dom0Agent ("a token listening server runs on a known port
-// in dom0 of each hypervisor"). When the token arrives for a hosted VM, the
-// agent — acting on the VM's behalf, since virtualization is transparent —
-// executes the full §V-B pipeline using only locally obtainable information:
+// in dom0 of each hypervisor") holding only its local VM set and a local view
+// of traffic (its own flow table). When the token arrives for a hosted VM,
+// the agent — acting on the VM's behalf, since virtualization is transparent
+// — executes the full §V-B pipeline using only locally obtainable
+// information:
 //
 //   1. polls the datapath into its flow table and computes the aggregate
 //      per-peer traffic load of the token VM (§V-B.1/3),
@@ -14,10 +16,36 @@
 //   3. sends *capacity requests* to candidate hypervisors, ranked from the
 //      highest communication level downwards; they answer with free VM slots
 //      and available RAM/CPU/bandwidth (§V-B.5),
-//   4. applies Theorem 1 (delta > c_m) and, when satisfied, live-migrates the
-//      VM and updates the token's communication-level entries,
+//   4. applies Theorem 1 (delta > c_m) and, when satisfied and within the
+//      migration-cost budget, live-migrates the VM — transfer time and bytes
+//      come from the pre-copy model (hypervisor/live_migration) — and
+//      updates the token's communication-level entries,
 //   5. forwards the token to the next VM per the Round-Robin or
 //      Highest-Level-First policy, computed purely from token state.
+//
+// The token travels as the framed wire format of hypervisor/token_codec:
+// besides the per-VM entries it carries the allocation epoch (committed
+// migrations so far), its ring position (holds since injection) and the
+// aggregate committed Lemma-3 delta — so the token itself is the run's
+// convergence telemetry, with no global observer in the loop.
+//
+// Failure model. Every control message is subject to independent loss and
+// hosts may leave/join (churn schedule). Three recovery mechanisms compose:
+//   * probe timeout — a holder whose location/capacity probes go unanswered
+//     decides from the responses it has (possibly migrating nowhere);
+//   * token retransmission — the placement manager (which injected the
+//     token, §V-A) watches hold progress and re-injects its last token
+//     snapshot at the holder's *current* host when no hold completes within
+//     the retransmission timeout;
+//   * drain on leave — a departing host's VMs are live-migrated to feasible
+//     hosts by the placement manager before its agent detaches.
+//
+// Determinism seam. The run is single-threaded over the event queue and all
+// randomness (loss, pre-copy dirty rates) is seeded, so a fixed config
+// reproduces the exact message sequence. Every send is folded into
+// RuntimeResult::trace_hash (and recorded verbatim when record_trace is on),
+// giving tests and benches a one-word equality check over the full wire
+// trace.
 //
 // The runtime owns ground truth (allocation, traffic matrix) only to play the
 // roles of the physical world: the datapath byte counters, the fabric
@@ -33,8 +61,10 @@
 
 #include "core/cost_model.hpp"
 #include "core/migration_engine.hpp"
+#include "driver/convergence.hpp"
 #include "hypervisor/flow_table.hpp"
 #include "hypervisor/ipam.hpp"
+#include "hypervisor/live_migration.hpp"
 #include "sim/network.hpp"
 #include "traffic/traffic_matrix.hpp"
 
@@ -49,6 +79,15 @@ enum class CtrlMsg : int {
   kCapacityResponse = 5,
 };
 
+/// One scheduled membership change. A leaving host is drained (its VMs
+/// live-migrated to feasible hosts) and its agent detached; a joining host
+/// re-attaches and becomes a migration target again.
+struct ChurnEvent {
+  double time_s = 0.0;
+  topo::HostId host = 0;
+  bool leave = true;  ///< true = leave, false = (re)join
+};
+
 struct RuntimeConfig {
   std::string policy = "round-robin";  ///< "round-robin" or "highest-level-first"
   core::EngineConfig engine;           ///< c_m, candidate cap, bandwidth headroom
@@ -56,21 +95,51 @@ struct RuntimeConfig {
   bool stop_when_stable = true;
   double measurement_window_s = 60.0;  ///< flow-statistics averaging window
   double decision_time_s = 0.01;       ///< dom0 processing per token hold
-  double migration_bandwidth_bps = 1e9;
-  double precopy_factor = 1.3;
-  double migration_overhead_s = 0.1;
 
-  /// Fault injection: independent drop probability for every control message
-  /// (token, probes, responses). A lost probe stalls the holder's decision
-  /// and a lost token stalls the whole loop — recovery comes from the
-  /// placement manager's watchdog below.
+  // ---- fabric ---------------------------------------------------------------
+  double per_hop_latency_s = 50e-6;   ///< control-message latency per hop
+  double loopback_latency_s = 5e-6;   ///< same-host delivery latency
+
+  // ---- live migration (pre-copy model, hypervisor/live_migration) -----------
+  /// Base pre-copy parameters; vm_ram_mb and the working set are rescaled to
+  /// each migrating VM's spec at decision time.
+  MigrationModelConfig migration_model;
+  /// Fraction of the migration link occupied by competing traffic (Fig. 5c/d
+  /// x-axis); slows every transfer.
+  double background_load = 0.0;
+  std::uint64_t migration_seed = 11;  ///< dirty-rate randomness
+  /// Migration-cost budget: total modeled pre-copy MB the run may put on the
+  /// wire (0 = unlimited). A Theorem-1-positive decision whose modeled
+  /// transfer would overrun the remaining budget is rejected and counted.
+  /// Churn drains also draw down the total (they are real transfers) but are
+  /// never gated — evacuation is mandatory, the budget prices optional
+  /// optimization moves.
+  double migration_budget_mb = 0.0;
+
+  // ---- failure model --------------------------------------------------------
+  /// Independent drop probability for every control message (token, probes,
+  /// responses).
   double message_loss_rate = 0.0;
   std::uint64_t loss_seed = 9;
-  /// The placement manager re-injects its last token snapshot when no hold
-  /// completes for this long (it already owns VM-id allocation, §V-A, so
-  /// token custody is a natural extension). Must exceed the longest legal
-  /// hold (decision + probes + one migration transfer).
-  double watchdog_interval_s = 5.0;
+  /// Token retransmission timeout: the placement manager re-injects its last
+  /// token snapshot (at the holder's current host) when no hold completes for
+  /// this long. Must exceed the longest legal hold (decision + probe
+  /// timeouts + one migration transfer).
+  double retransmit_timeout_s = 5.0;
+  /// Per-decision probe timeout: a holder missing location/capacity
+  /// responses after this long retransmits the unanswered probes; once the
+  /// retry budget is spent it decides from what it has.
+  double probe_timeout_s = 1.0;
+  /// Probe retransmissions per decision stage before deciding on partial
+  /// information.
+  std::size_t probe_retries = 2;
+  /// Host membership changes, applied at their scheduled simulated times.
+  std::vector<ChurnEvent> churn;
+
+  // ---- determinism seam -----------------------------------------------------
+  /// Record the full wire trace in RuntimeResult::trace (trace_hash is always
+  /// computed; the verbatim trace costs memory proportional to messages).
+  bool record_trace = false;
 };
 
 struct RuntimeIteration {
@@ -78,6 +147,22 @@ struct RuntimeIteration {
   std::size_t migrations = 0;
   double migrated_ratio = 0.0;
   double cost_at_end = 0.0;
+};
+
+/// One observed control-plane send, in send order (the determinism seam).
+struct TraceEntry {
+  double time_s = 0.0;
+  std::uint8_t type = 0;  ///< CtrlMsg
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t bytes = 0;
+  /// FNV-1a over the payload bytes — computed only when record_trace is on
+  /// (payload hashing is the expensive part of observing a paper-scale run);
+  /// 0 otherwise.
+  std::uint64_t payload_hash = 0;
+  bool lost = false;
+
+  bool operator==(const TraceEntry&) const = default;
 };
 
 struct RuntimeResult {
@@ -89,15 +174,44 @@ struct RuntimeResult {
 
   // Control-plane footprint (the overhead the paper argues is small).
   std::uint64_t token_messages = 0;
+  std::uint64_t token_bytes = 0;
   std::uint64_t location_messages = 0;  ///< requests + responses
   std::uint64_t capacity_messages = 0;  ///< requests + responses
   std::uint64_t control_bytes = 0;
   std::uint64_t messages_lost = 0;       ///< dropped by fault injection
-  std::uint64_t token_reinjections = 0;  ///< watchdog recoveries
+  std::uint64_t token_reinjections = 0;  ///< retransmission-timeout recoveries
+  std::uint64_t probe_retransmits = 0;   ///< unanswered probes re-sent
+  std::uint64_t probe_timeouts = 0;      ///< decisions completed on partial info
+
+  // Token telemetry at run end (carried on the wire, not observed globally).
+  std::uint32_t final_epoch = 0;     ///< committed migrations per the token
+  std::uint32_t final_ring_pos = 0;  ///< holds per the token
+  double aggregate_delta = 0.0;      ///< Σ committed Lemma-3 deltas
+
+  // Live-migration accounting (pre-copy model).
+  double migrated_mb = 0.0;
+  double migration_time_s = 0.0;     ///< Σ modeled transfer times
+  std::uint64_t budget_rejected = 0; ///< Theorem-1 wins rejected by the budget
+
+  // Churn accounting.
+  std::uint64_t evacuations = 0;  ///< VMs drained off leaving hosts
+
+  // Determinism seam.
+  /// FNV-1a over every send in order (structural fields always; payload
+  /// bytes folded in when config.record_trace is on).
+  std::uint64_t trace_hash = 0;
+  std::vector<TraceEntry> trace;   ///< populated when config.record_trace
 
   double reduction() const {
     return initial_cost > 0.0 ? 1.0 - final_cost / initial_cost : 0.0;
   }
+
+  /// Number of completed token-passing rounds.
+  std::size_t rounds() const { return iterations.size(); }
+
+  /// Summarize into the mode-independent convergence report shared with the
+  /// centralized drivers.
+  driver::ConvergenceReport report() const;
 };
 
 class DistributedScoreRuntime {

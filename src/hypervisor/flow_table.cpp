@@ -93,6 +93,22 @@ std::size_t FlowTable::clear_ip(IpAddr ip) {
   return keys.size();
 }
 
+std::size_t FlowTable::evict_idle(double cutoff_s) {
+  std::size_t evicted = 0;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.last_seen_s < cutoff_s) {
+      const FlowKey key = it->first;
+      index_remove(key.src_ip, key);
+      if (key.dst_ip != key.src_ip) index_remove(key.dst_ip, key);
+      it = flows_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
 void FlowTable::clear() {
   flows_.clear();
   by_ip_.clear();

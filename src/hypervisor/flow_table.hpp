@@ -94,6 +94,11 @@ class FlowTable {
   /// the VM's statistics). Returns the number removed.
   std::size_t clear_ip(IpAddr ip);
 
+  /// Evict every flow last seen strictly before `cutoff_s` — expired
+  /// datapath entries that would otherwise skew the measurement window (and
+  /// grow the table without bound on long runs). Returns the number evicted.
+  std::size_t evict_idle(double cutoff_s);
+
   void clear();
   std::size_t size() const { return flows_.size(); }
   bool empty() const { return flows_.empty(); }

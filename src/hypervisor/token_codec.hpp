@@ -6,9 +6,26 @@
 // communication level. Entries are stored in ascending order by VM id and the
 // token is transmitted as a packed block of unsigned integers.
 //
-// encode/decode implement both layouts (RR: 4 bytes/entry; HLF: 5 bytes/
-// entry), little-endian, with strict validation on decode: truncated buffers
-// and out-of-order ids are rejected.
+// Two layers of codec live here:
+//
+//   * The legacy bare-array layouts (RR: 4 bytes/entry; HLF: 5 bytes/entry)
+//     the paper describes verbatim — encode_rr_token / encode_hlf_token.
+//
+//   * The framed token the distributed runtime passes between dom0 agents:
+//     a fixed header (magic, version, forwarding policy, allocation epoch,
+//     ring position, aggregate committed cost delta, current holder) followed
+//     by HLF-style entries whose status byte folds the per-round "checked"
+//     bit (Algorithm 1 bookkeeping) into bit 7 and the communication level
+//     into bits 0..6. The header is what makes the loop observable without
+//     global state: every hold increments ring_pos, every committed
+//     migration increments epoch and adds its Lemma-3 delta to
+//     aggregate_delta, so the token that returns to the placement manager
+//     carries the whole run's convergence telemetry.
+//
+// All integers are little-endian. decode_token validates strictly: magic,
+// version, policy, exact length, finite aggregate delta, strictly ascending
+// ids, and holder membership — truncated or corrupted buffers throw
+// std::invalid_argument rather than decoding to garbage.
 #pragma once
 
 #include <cstdint>
@@ -34,5 +51,55 @@ std::vector<TokenEntry> decode_hlf_token(const std::vector<std::uint8_t>& buf);
 /// Wire size in bytes for |V| VMs (token size is O(|V|), paper §V-A).
 constexpr std::size_t rr_token_bytes(std::size_t num_vms) { return 4 * num_vms; }
 constexpr std::size_t hlf_token_bytes(std::size_t num_vms) { return 5 * num_vms; }
+
+// ---------------------------------------------------------------------------
+// Framed token (distributed runtime wire format).
+// ---------------------------------------------------------------------------
+
+/// Forwarding policy carried in the frame so a re-injected token resumes
+/// under the same rules it was launched with.
+enum class TokenPolicyId : std::uint8_t {
+  kRoundRobin = 0,
+  kHighestLevelFirst = 1,
+};
+
+/// One token entry as carried by the frame: level (bits 0..6 of the status
+/// byte) plus the per-round checked bit (bit 7, Algorithm 1 line 15).
+struct TokenWireEntry {
+  std::uint32_t vm_id = 0;
+  std::uint8_t level = 0;  ///< 0..127 (7 bits on the wire)
+  bool checked = false;
+
+  bool operator==(const TokenWireEntry&) const = default;
+};
+
+/// The decoded frame. `entries` must be strictly ascending by vm_id and,
+/// when non-empty, contain `holder`.
+struct Token {
+  std::uint32_t epoch = 0;       ///< allocation epoch: committed migrations
+  std::uint32_t ring_pos = 0;    ///< holds completed since injection
+  double aggregate_delta = 0.0;  ///< Σ committed Lemma-3 deltas (cost units)
+  std::uint32_t holder = 0;      ///< VM id currently holding the token
+  TokenPolicyId policy = TokenPolicyId::kRoundRobin;
+  std::vector<TokenWireEntry> entries;
+
+  bool operator==(const Token&) const = default;
+};
+
+/// Frame header: magic "SCTK" + version + policy + epoch + ring_pos +
+/// aggregate_delta (IEEE-754 bits) + holder + entry count.
+constexpr std::size_t token_frame_header_bytes() { return 4 + 1 + 1 + 4 + 4 + 8 + 4 + 4; }
+constexpr std::size_t token_frame_bytes(std::size_t num_vms) {
+  return token_frame_header_bytes() + 5 * num_vms;
+}
+constexpr std::uint8_t kTokenFrameVersion = 1;
+
+/// Encode a frame. Throws std::invalid_argument on non-ascending ids, a
+/// holder absent from a non-empty entry list, levels above 127, or a
+/// non-finite aggregate delta.
+std::vector<std::uint8_t> encode_token(const Token& token);
+
+/// Decode and validate a frame (see header comment for the reject list).
+Token decode_token(const std::vector<std::uint8_t>& buf);
 
 }  // namespace score::hypervisor

@@ -5,7 +5,9 @@ namespace score::sim {
 void Network::send(Message msg) {
   ++sent_;
   bytes_ += msg.payload.size();
-  if (loss_rate_ > 0.0 && loss_rng_.chance(loss_rate_)) {
+  const bool lost = loss_rate_ > 0.0 && loss_rng_.chance(loss_rate_);
+  if (observer_) observer_(msg, lost);
+  if (lost) {
     ++lost_;
     return;
   }

@@ -43,6 +43,16 @@ class Network {
     handlers_.at(host) = std::move(handler);
   }
 
+  /// Remove a host's handler (host churn: a departed host). Subsequent
+  /// messages to it are dropped and counted, exactly like a host that never
+  /// attached.
+  void detach(topo::HostId host) { handlers_.at(host) = nullptr; }
+
+  /// True when the host currently has a handler installed.
+  bool attached(topo::HostId host) const {
+    return static_cast<bool>(handlers_.at(host));
+  }
+
   /// Send a message; it is delivered to the destination host's handler after
   /// the path latency. Messages to hosts without a handler are dropped
   /// (counted).
@@ -55,6 +65,12 @@ class Network {
     loss_rng_.seed(seed);
   }
 
+  /// Observer invoked synchronously for every send() after the loss roll —
+  /// the determinism seam: recording (message, lost) pairs in send order
+  /// yields a reproducible wire trace for a fixed seed.
+  using Observer = std::function<void(const Message&, bool lost)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
   std::uint64_t messages_sent() const { return sent_; }
   std::uint64_t messages_dropped() const { return dropped_; }
   std::uint64_t messages_lost() const { return lost_; }
@@ -66,6 +82,7 @@ class Network {
   double per_hop_latency_s_;
   double loopback_latency_s_;
   std::vector<Handler> handlers_;
+  Observer observer_;
   double loss_rate_ = 0.0;
   util::Rng loss_rng_{1};
   std::uint64_t sent_ = 0;

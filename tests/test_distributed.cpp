@@ -301,4 +301,216 @@ TEST_F(DistributedTest, SimulatedTimeAdvances) {
   EXPECT_GT(res.duration_s, 0.0);
 }
 
+// ------------------------------------------------- token telemetry (frame)
+
+TEST_F(DistributedTest, TokenCarriesEpochAndAggregateDelta) {
+  Rng rng(41);
+  auto tm = random_tm(40, 3.0, rng);
+  auto alloc = random_allocation(topo_, 40, rng);
+  const auto res = DistributedScoreRuntime(model_, alloc, tm).run();
+  // Epoch = committed migrations; ring position = completed holds — both
+  // carried on the wire, not observed globally.
+  EXPECT_EQ(res.final_epoch, res.total_migrations);
+  std::size_t holds = 0;
+  for (const auto& it : res.iterations) holds += it.holds;
+  EXPECT_EQ(res.final_ring_pos, holds);
+  // The token's aggregate Lemma-3 delta tracks the actually realised cost
+  // reduction (small divergence from flow-table byte-counter rounding).
+  EXPECT_NEAR(res.aggregate_delta, res.initial_cost - res.final_cost,
+              0.05 * res.initial_cost);
+}
+
+TEST_F(DistributedTest, ReportSummarizesIntoSharedStruct) {
+  Rng rng(42);
+  auto tm = random_tm(24, 2.0, rng);
+  auto alloc = random_allocation(topo_, 24, rng);
+  const auto res = DistributedScoreRuntime(model_, alloc, tm).run();
+  const score::driver::ConvergenceReport rep = res.report();
+  EXPECT_EQ(rep.mode, "distributed");
+  EXPECT_DOUBLE_EQ(rep.initial_cost, res.initial_cost);
+  EXPECT_DOUBLE_EQ(rep.final_cost, res.final_cost);
+  EXPECT_EQ(rep.rounds, res.iterations.size());
+  EXPECT_EQ(rep.migrations, res.total_migrations);
+  EXPECT_EQ(rep.token_messages, res.token_messages);
+  EXPECT_EQ(rep.control_messages,
+            res.token_messages + res.location_messages + res.capacity_messages);
+  EXPECT_GT(rep.token_bytes, 0u);
+  EXPECT_NEAR(rep.reduction(), res.reduction(), 1e-12);
+}
+
+// --------------------------------------------------------- determinism seam
+
+TEST_F(DistributedTest, FixedSeedReproducesMessageTrace) {
+  Rng rng(43);
+  auto tm = random_tm(32, 3.0, rng);
+  auto alloc_a = random_allocation(topo_, 32, rng);
+  auto alloc_b = alloc_a;
+
+  RuntimeConfig cfg;
+  cfg.message_loss_rate = 0.05;
+  cfg.retransmit_timeout_s = 2.0;
+  cfg.record_trace = true;
+  const auto a = DistributedScoreRuntime(model_, alloc_a, tm, cfg).run();
+  const auto b = DistributedScoreRuntime(model_, alloc_b, tm, cfg).run();
+
+  ASSERT_FALSE(a.trace.empty());
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    ASSERT_EQ(a.trace[i], b.trace[i]) << "trace diverges at message " << i;
+  }
+  EXPECT_DOUBLE_EQ(a.final_cost, b.final_cost);
+}
+
+TEST_F(DistributedTest, DifferentLossSeedChangesTrace) {
+  Rng rng(44);
+  auto tm = random_tm(32, 3.0, rng);
+  auto alloc_a = random_allocation(topo_, 32, rng);
+  auto alloc_b = alloc_a;
+
+  RuntimeConfig cfg;
+  cfg.message_loss_rate = 0.05;
+  cfg.retransmit_timeout_s = 2.0;
+  const auto a = DistributedScoreRuntime(model_, alloc_a, tm, cfg).run();
+  cfg.loss_seed += 1;
+  const auto b = DistributedScoreRuntime(model_, alloc_b, tm, cfg).run();
+  EXPECT_NE(a.trace_hash, b.trace_hash);
+}
+
+TEST_F(DistributedTest, TraceOmittedUnlessRequested) {
+  Rng rng(45);
+  auto tm = random_tm(16, 2.0, rng);
+  auto alloc = random_allocation(topo_, 16, rng);
+  const auto res = DistributedScoreRuntime(model_, alloc, tm).run();
+  EXPECT_TRUE(res.trace.empty());
+  EXPECT_NE(res.trace_hash, 0u);  // the hash is always computed
+}
+
+// ------------------------------------------------------- fabric latency knob
+
+TEST_F(DistributedTest, PerHopLatencyStretchesSimulatedTime) {
+  Rng rng(46);
+  auto tm = random_tm(16, 2.0, rng);
+  auto alloc_fast = random_allocation(topo_, 16, rng);
+  auto alloc_slow = alloc_fast;
+
+  RuntimeConfig fast;
+  fast.decision_time_s = 0.0;
+  RuntimeConfig slow = fast;
+  slow.per_hop_latency_s = 1e-2;
+  slow.loopback_latency_s = 1e-3;
+  const auto f = DistributedScoreRuntime(model_, alloc_fast, tm, fast).run();
+  const auto s = DistributedScoreRuntime(model_, alloc_slow, tm, slow).run();
+  EXPECT_GT(s.duration_s, f.duration_s);
+  EXPECT_DOUBLE_EQ(f.final_cost, s.final_cost);  // latency never changes decisions
+}
+
+// --------------------------------------------------- live-migration modeling
+
+TEST_F(DistributedTest, MigrationsChargePreCopyTransferTime) {
+  Rng rng(47);
+  auto tm = random_tm(32, 3.0, rng);
+  auto alloc = random_allocation(topo_, 32, rng);
+  const auto res = DistributedScoreRuntime(model_, alloc, tm).run();
+  ASSERT_GT(res.total_migrations, 0u);
+  EXPECT_GT(res.migrated_mb, 0.0);
+  EXPECT_GT(res.migration_time_s, 0.0);
+  // Every committed migration moved at least the VM's working set once.
+  EXPECT_GT(res.migrated_mb, 50.0 * static_cast<double>(res.total_migrations));
+  // The token was busy for the transfers, so they bound sim time from below.
+  EXPECT_GE(res.duration_s, res.migration_time_s);
+}
+
+TEST_F(DistributedTest, MigrationBudgetCapsTotalTransfer) {
+  Rng rng(48);
+  auto tm = random_tm(32, 3.0, rng);
+  auto unlimited_alloc = random_allocation(topo_, 32, rng);
+  auto budgeted_alloc = unlimited_alloc;
+
+  const auto unlimited =
+      DistributedScoreRuntime(model_, unlimited_alloc, tm).run();
+  ASSERT_GT(unlimited.total_migrations, 2u);
+
+  RuntimeConfig cfg;
+  cfg.migration_budget_mb = unlimited.migrated_mb / 2.0;
+  const auto budgeted =
+      DistributedScoreRuntime(model_, budgeted_alloc, tm, cfg).run();
+  EXPECT_LE(budgeted.migrated_mb, cfg.migration_budget_mb);
+  EXPECT_LT(budgeted.total_migrations, unlimited.total_migrations);
+  EXPECT_GT(budgeted.budget_rejected, 0u);
+  EXPECT_TRUE(budgeted_alloc.check_consistency());
+}
+
+// ------------------------------------------------------------- host churn
+
+TEST_F(DistributedTest, HostLeaveDrainsAndRunConverges) {
+  Rng rng(49);
+  auto tm = random_tm(40, 3.0, rng);
+  auto alloc = random_allocation(topo_, 40, rng);
+
+  RuntimeConfig cfg;
+  cfg.retransmit_timeout_s = 2.0;
+  // Two hosts leave early in the run.
+  cfg.churn.push_back({0.5, 3, true});
+  cfg.churn.push_back({1.0, 17, true});
+  DistributedScoreRuntime runtime(model_, alloc, tm, cfg);
+  const auto res = runtime.run();
+
+  EXPECT_LT(res.final_cost, res.initial_cost);
+  EXPECT_TRUE(alloc.check_consistency());
+  // The departed hosts are empty: every VM was drained.
+  EXPECT_TRUE(alloc.vms_on(3).empty());
+  EXPECT_TRUE(alloc.vms_on(17).empty());
+  EXPECT_NEAR(res.final_cost, model_.total_cost(alloc, tm),
+              1e-6 * (1.0 + res.final_cost));
+}
+
+TEST_F(DistributedTest, HostRejoinBecomesMigrationTargetAgain) {
+  Rng rng(50);
+  auto tm = random_tm(40, 3.0, rng);
+  auto alloc = random_allocation(topo_, 40, rng);
+
+  RuntimeConfig cfg;
+  cfg.retransmit_timeout_s = 2.0;
+  cfg.churn.push_back({0.5, 5, true});
+  cfg.churn.push_back({1.5, 5, false});  // rejoin
+  DistributedScoreRuntime runtime(model_, alloc, tm, cfg);
+  const auto res = runtime.run();
+  EXPECT_LT(res.final_cost, res.initial_cost);
+  EXPECT_TRUE(alloc.check_consistency());
+  EXPECT_GT(res.evacuations, 0u);
+}
+
+TEST_F(DistributedTest, StrandedVmsEndRunInsteadOfLivelock) {
+  // Fully packed fleet (1 slot per host): a leaving host's VM has no
+  // feasible drain target and stays stranded on the departed host. The run
+  // must still terminate — the skip path and the watchdog hand the token to
+  // reachable holders only, and give up when none remain.
+  Rng rng(52);
+  auto tm = random_tm(32, 2.0, rng);
+  auto alloc = random_allocation(topo_, 32, rng, /*slots_per_server=*/1);
+
+  RuntimeConfig cfg;
+  cfg.retransmit_timeout_s = 1.0;
+  cfg.iterations = 3;
+  cfg.stop_when_stable = false;
+  cfg.churn.push_back({0.5, 2, true});
+  const auto res = DistributedScoreRuntime(model_, alloc, tm, cfg).run();
+
+  EXPECT_FALSE(alloc.vms_on(2).empty());  // genuinely stranded
+  EXPECT_EQ(res.evacuations, 0u);
+  EXPECT_TRUE(alloc.check_consistency());
+  EXPECT_GE(res.iterations.size(), 1u);
+}
+
+TEST_F(DistributedTest, ChurnRejectsOutOfRangeHost) {
+  Rng rng(51);
+  auto tm = random_tm(8, 2.0, rng);
+  auto alloc = random_allocation(topo_, 8, rng);
+  RuntimeConfig cfg;
+  cfg.churn.push_back({0.5, 100000, true});
+  EXPECT_THROW(DistributedScoreRuntime(model_, alloc, tm, cfg),
+               std::invalid_argument);
+}
+
 }  // namespace

@@ -61,7 +61,7 @@ TEST_P(LossSweep, RuntimeSurvivesMessageLoss) {
 
   RuntimeConfig cfg;
   cfg.message_loss_rate = GetParam();
-  cfg.watchdog_interval_s = 3.0;
+  cfg.retransmit_timeout_s = 3.0;
   cfg.iterations = 4;
   DistributedScoreRuntime runtime(model, alloc, tm, cfg);
   const auto res = runtime.run();
@@ -89,7 +89,7 @@ TEST(FaultInjection, WatchdogReinjectsAfterLoss) {
   RuntimeConfig cfg;
   cfg.message_loss_rate = 0.15;  // high loss: recoveries certain
   cfg.loss_seed = 4;
-  cfg.watchdog_interval_s = 2.0;
+  cfg.retransmit_timeout_s = 2.0;
   cfg.iterations = 3;
   cfg.stop_when_stable = false;
   DistributedScoreRuntime runtime(model, alloc, tm, cfg);
@@ -123,7 +123,7 @@ TEST(FaultInjection, QualityDegradesGracefullyUnderLoss) {
 
   RuntimeConfig cfg;
   cfg.message_loss_rate = 0.10;
-  cfg.watchdog_interval_s = 2.0;
+  cfg.retransmit_timeout_s = 2.0;
   const auto lossy = DistributedScoreRuntime(model, lossy_alloc, tm, cfg).run();
 
   EXPECT_GT(clean.reduction(), 0.4);

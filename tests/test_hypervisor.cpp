@@ -143,6 +143,65 @@ TEST(FlowTable, ClearEmptiesEverything) {
   EXPECT_TRUE(table.flows_for_ip(5).empty());
 }
 
+TEST(FlowTable, EvictIdleRemovesOnlyStaleFlows) {
+  FlowTable table;
+  table.update(key(1, 2), 100, 1, 0.0);   // idle since t=0
+  table.update(key(1, 3), 100, 1, 5.0);   // refreshed at t=5
+  table.update(key(4, 1), 100, 1, 9.0);   // fresh
+  EXPECT_EQ(table.evict_idle(5.0), 1u);   // strictly-before cutoff
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.lookup(key(1, 2)), nullptr);
+  EXPECT_NE(table.lookup(key(1, 3)), nullptr);
+  EXPECT_NE(table.lookup(key(4, 1)), nullptr);
+  EXPECT_EQ(table.evict_idle(5.0), 0u);  // idempotent
+}
+
+TEST(FlowTable, EvictIdleKeepsIpIndexConsistent) {
+  FlowTable table;
+  table.update(key(1, 2), 80, 1, 0.0);
+  table.update(key(1, 3), 80, 1, 0.0);
+  table.update(key(1, 3, 1001), 80, 1, 10.0);
+  EXPECT_EQ(table.evict_idle(1.0), 2u);
+  // The per-IP index must shrink with the table: only the refreshed flow
+  // remains visible through every lookup path.
+  EXPECT_EQ(table.flows_for_ip(1).size(), 1u);
+  EXPECT_TRUE(table.flows_for_ip(2).empty());
+  EXPECT_EQ(table.flows_for_ip(3).size(), 1u);
+  EXPECT_EQ(table.bytes_between(1, 3), 80u);
+  const auto peers = table.peer_rates_Bps(1, 20.0);
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0].first, 3u);
+}
+
+TEST(FlowTable, EvictIdleUpdateAfterEvictionStartsFresh) {
+  FlowTable table;
+  table.update(key(1, 2), 1000, 1, 0.0);
+  table.update(key(1, 2), 1000, 1, 10.0);
+  table.evict_idle(20.0);  // everything idle
+  EXPECT_TRUE(table.empty());
+  // Re-adding the same 5-tuple starts a new record (fresh first_seen).
+  table.update(key(1, 2), 500, 1, 30.0);
+  const auto* rec = table.lookup(key(1, 2));
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->bytes, 500u);
+  EXPECT_DOUBLE_EQ(rec->first_seen_s, 30.0);
+}
+
+TEST(FlowTable, EvictIdleScalesOverHubIps) {
+  // A hub IP shared by many flows (the Fig. 5a Type-2 shape): evicting the
+  // stale half must leave the hub's index exact.
+  FlowTable table;
+  const std::uint32_t hub = 1u << 30;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    table.update(key(i, hub), 10, 1, i < 500 ? 0.0 : 50.0);
+  }
+  EXPECT_EQ(table.evict_idle(25.0), 500u);
+  EXPECT_EQ(table.size(), 500u);
+  EXPECT_EQ(table.flows_for_ip(hub).size(), 500u);
+  EXPECT_TRUE(table.flows_for_ip(7).empty());      // evicted spoke
+  EXPECT_EQ(table.flows_for_ip(700).size(), 1u);   // surviving spoke
+}
+
 TEST(FlowTable, Type1AndType2Populations) {
   // Fig. 5a's two stress populations, scaled down: Type 1 all-unique source
   // IPs; Type 2 groups of 100 flows sharing a source IP.

@@ -25,10 +25,12 @@ Two modes:
 
       Scenarios present only in the baseline (e.g. the paper-scale suite
       when CI runs --scale default) are reported as skipped, not failed.
-      Scenarios present only in the candidate — newly added benches that have
-      no committed trajectory yet, e.g. a fresh ablation suite — are reported
-      as new and never fail the gate (pass --fail-on-new to forbid them,
-      e.g. when diffing two runs of the same binary).
+      Scenarios present only in the candidate — benches with no committed
+      trajectory row — fail the gate by default: a new bench scenario must
+      land together with its BENCH_results.json row, so the trajectory file
+      stays the single source of truth. Pass --allow-new to permit them
+      (e.g. when iterating locally on a brand-new suite before the
+      regeneration run).
 
 Stdlib only; used by .github/workflows/ci.yml after the bench-smoke step and
 runnable locally:  python3 tools/bench_compare.py BENCH_results.json build/BENCH_ci.json
@@ -116,14 +118,17 @@ def compare(baseline: dict, candidate: dict, args: argparse.Namespace) -> int:
                   "(e.g. paper-scale suite not run)")
             continue
         if b is None:
-            # Newly added scenario: there is nothing to regress against, so it
-            # never fails the gate — it becomes the baseline once committed.
+            # Newly added scenario: gated by default — its trajectory row must
+            # be committed alongside the bench (escape hatch: --allow-new).
             new += 1
             if args.fail_on_new:
-                fail(f"{name}: scenario absent from baseline (--fail-on-new)")
+                fail(f"{name}: scenario absent from baseline "
+                     "(new benches must land with their BENCH_results.json "
+                     "row; pass --allow-new to bypass)")
                 failures += 1
             else:
-                print(f"bench_compare: new {name}: no baseline yet, not gated")
+                print(f"bench_compare: new {name}: no baseline yet, not gated "
+                      "(--allow-new)")
             continue
         compared += 1
 
@@ -182,9 +187,15 @@ def main() -> int:
                         help="allowed relative checksum divergence at equal call counts")
     parser.add_argument("--reduction-atol", type=float, default=1.0,
                         help="allowed cost_reduction_pct divergence, percentage points")
-    parser.add_argument("--fail-on-new", action="store_true",
+    parser.add_argument("--fail-on-new", dest="fail_on_new", action="store_true",
+                        default=True,
                         help="fail when the candidate has scenarios absent from the "
-                             "baseline (default: new scenarios are not gated)")
+                             "baseline (the default since the committed trajectory "
+                             "covers every suite)")
+    parser.add_argument("--allow-new", dest="fail_on_new", action="store_false",
+                        help="permit candidate scenarios absent from the baseline "
+                             "(local iteration on a new bench before its trajectory "
+                             "row is committed)")
     args = parser.parse_args()
 
     if args.validate:

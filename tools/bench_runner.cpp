@@ -9,20 +9,31 @@
 //
 // Usage:
 //   bench_runner [--out FILE] [--quick] [--scale default|paper] [--threads N]
+//               [--suite NAME] [--mode both|centralized|distributed]
 //
 //   --quick   shrink the GA normaliser budget and micro rep counts so the
 //             whole run finishes in a few seconds (CI smoke); ratios are
 //             slightly noisier.
-//   --scale   "paper" additionally runs the paper-scale suite: fat-tree
+//   --scale   "paper" additionally runs the paper-scale suites: fat-tree
 //             k=16 (1024 hosts) and k=32 (8192 hosts), and the canonical
 //             tree at 2560 hosts with 16 VM slots per host (§VI), plus the
 //             tokens × threads ablation (parallel token rounds on the
-//             fat-tree k=16 scenario: wall-clock scaling + cost parity).
+//             fat-tree k=16 scenario: wall-clock scaling + cost parity)
+//             and the distributed-vs-centralized suite (the end-to-end
+//             message-passing runtime against the shared-memory loop:
+//             final-cost ratio, rounds, token messages/bytes, loss
+//             robustness, trace determinism — all hard-checked).
 //             These skip the GA normaliser (intractable at that size) and
 //             report absolute reduction plus cached/brute-force cost-oracle
 //             timings. Default: "default" (the fast trajectory subset).
 //   --threads max worker threads for the tokens × threads ablation
 //             (default 4).
+//   --suite   run only one suite: fig2 | fig3 | micro | paper-scale |
+//             tokens-threads | dist-vs-centralized (default: all suites the
+//             selected scale includes). The CI multi-core re-measure job
+//             uses `--scale paper --suite tokens-threads`.
+//   --mode    restrict the dist-vs-centralized suite to one execution mode
+//             (cross-mode hard checks need "both", the default).
 #include <chrono>
 #include <cmath>
 #include <fstream>
@@ -32,7 +43,9 @@
 
 #include "bench_common.hpp"
 #include "core/token_policy.hpp"
+#include "driver/convergence.hpp"
 #include "driver/multi_token.hpp"
+#include "hypervisor/distributed_runtime.hpp"
 #include "util/exec_policy.hpp"
 
 namespace {
@@ -42,6 +55,7 @@ using namespace score;
 bool g_quick = false;
 bool g_paper_suite = false;
 std::size_t g_threads = 4;  // --threads: max workers for the tokens ablation
+std::string g_mode = "both";  // --mode: dist-vs-centralized restriction
 
 baselines::GaConfig runner_ga_config() {
   baselines::GaConfig cfg = bench::ga_config();
@@ -430,11 +444,155 @@ void run_paper_scale(bench::JsonReport& report) {
   }
 }
 
+// Distributed-vs-centralized suite (paper suite): the paper's headline claim
+// quantified end to end. The message-passing dom0 runtime — deciding from
+// flow-table measurements and location/capacity probes only — must land
+// within 1% of the centralized shared-memory loop's final cost on the §VI
+// topologies, stay there under 5% control-message loss (probe timeouts +
+// token retransmission), and reproduce its exact wire trace for a fixed
+// seed. All three properties are hard checks: divergence fails the run.
+bool run_dist_vs_centralized(bench::JsonReport& report) {
+  struct Spec {
+    std::string name;
+    std::unique_ptr<topo::Topology> topology;
+  };
+  std::vector<Spec> specs;
+  specs.push_back({"canonical-2560", std::make_unique<topo::CanonicalTree>(
+                                         topo::CanonicalTreeConfig::paper_scale())});
+  specs.push_back({"fat-tree-k16", std::make_unique<topo::FatTree>(
+                                       topo::FatTreeConfig{.k = 16})});
+
+  constexpr std::size_t kMaxRounds = 8;
+  constexpr double kRatioTolerance = 0.01;
+  bool ok = true;
+
+  for (auto& spec : specs) {
+    const topo::Topology& topology = *spec.topology;
+    const PaperFleet fleet = make_paper_fleet(topology);
+
+    driver::ConvergenceReport central;
+    if (g_mode != "distributed") {
+      core::Allocation alloc = fleet.alloc;
+      core::CachedCostModel model(topology, core::LinkWeights::exponential(3));
+      model.bind(alloc, fleet.tm);
+      core::MigrationEngine engine(model);
+      core::RoundRobinPolicy rr;
+      driver::SimConfig cfg;
+      cfg.iterations = kMaxRounds;
+      bench::Stopwatch sw;
+      driver::ScoreSimulation sim(engine, rr, alloc, fleet.tm);
+      central = driver::summarize(sim.run(cfg));
+
+      bench::BenchRecord rec;
+      rec.suite = "distributed-vs-centralized";
+      rec.scenario = spec.name + "/centralized";
+      rec.wall_time_s = sw.elapsed_s();
+      rec.cost_reduction_pct = 100.0 * central.reduction();
+      rec.migrations = central.migrations;
+      rec.metric("num_hosts", static_cast<double>(topology.num_hosts()));
+      rec.metric("num_vms", static_cast<double>(fleet.num_vms));
+      rec.metric("rounds_to_convergence", static_cast<double>(central.rounds));
+      rec.metric("final_cost", central.final_cost);
+      rec.metric("sim_duration_s", central.duration_s);
+      report.add(rec);
+      std::cerr << "[dist-vs-cent] " << rec.scenario << ": reduction "
+                << rec.cost_reduction_pct << "% in " << central.rounds
+                << " rounds (" << rec.wall_time_s << "s wall)\n";
+    }
+
+    if (g_mode == "centralized") continue;
+
+    const auto run_distributed = [&](double loss_rate,
+                                     hypervisor::RuntimeResult& out) {
+      core::Allocation alloc = fleet.alloc;
+      core::CachedCostModel model(topology, core::LinkWeights::exponential(3));
+      model.bind(alloc, fleet.tm);
+      hypervisor::RuntimeConfig rcfg;
+      rcfg.policy = "round-robin";
+      rcfg.iterations = kMaxRounds;
+      rcfg.message_loss_rate = loss_rate;
+      rcfg.retransmit_timeout_s = 30.0;  // > decision + probes + one transfer
+      bench::Stopwatch sw;
+      hypervisor::DistributedScoreRuntime runtime(model, alloc, fleet.tm, rcfg);
+      out = runtime.run();
+      return sw.elapsed_s();
+    };
+
+    for (const double loss : {0.0, 0.05}) {
+      hypervisor::RuntimeResult res;
+      const double wall = run_distributed(loss, res);
+      const driver::ConvergenceReport rep = res.report();
+
+      bench::BenchRecord rec;
+      rec.suite = "distributed-vs-centralized";
+      rec.scenario = spec.name +
+                     (loss == 0.0 ? "/distributed" : "/distributed-loss5");
+      rec.wall_time_s = wall;
+      rec.cost_reduction_pct = 100.0 * rep.reduction();
+      rec.migrations = rep.migrations;
+      rec.metric("num_hosts", static_cast<double>(topology.num_hosts()));
+      rec.metric("num_vms", static_cast<double>(fleet.num_vms));
+      rec.metric("rounds_to_convergence", static_cast<double>(rep.rounds));
+      rec.metric("final_cost", rep.final_cost);
+      rec.metric("sim_duration_s", rep.duration_s);
+      rec.metric("token_messages", static_cast<double>(rep.token_messages));
+      rec.metric("token_bytes", static_cast<double>(rep.token_bytes));
+      rec.metric("control_messages", static_cast<double>(rep.control_messages));
+      rec.metric("control_bytes", static_cast<double>(rep.control_bytes));
+      rec.metric("messages_lost", static_cast<double>(res.messages_lost));
+      rec.metric("token_retransmits", static_cast<double>(res.token_reinjections));
+      rec.metric("probe_timeouts", static_cast<double>(res.probe_timeouts));
+      rec.metric("migrated_mb", res.migrated_mb);
+      double ratio = 0.0;
+      if (g_mode == "both" && central.final_cost > 0.0) {
+        ratio = rep.final_cost / central.final_cost;
+        rec.metric("final_cost_ratio_vs_centralized", ratio);
+        // One-sided: distributed must not end more than 1% above the
+        // centralized final cost. Ending *below* it is fine — under loss,
+        // token retransmissions grant some VMs extra holds, which can only
+        // find additional strictly cost-reducing moves.
+        if (ratio - 1.0 > kRatioTolerance) {
+          std::cerr << "[dist-vs-cent] CONVERGENCE FAILURE: " << rec.scenario
+                    << " final cost " << rep.final_cost << " vs centralized "
+                    << central.final_cost << " (ratio " << ratio
+                    << ", tolerance " << kRatioTolerance << ")\n";
+          ok = false;
+        }
+      }
+      report.add(rec);
+      std::cerr << "[dist-vs-cent] " << rec.scenario << ": reduction "
+                << rec.cost_reduction_pct << "% in " << rep.rounds
+                << " rounds, " << rep.token_messages << " token msgs ("
+                << rep.token_bytes << " B)"
+                << (ratio > 0.0
+                        ? ", ratio vs centralized " + std::to_string(ratio)
+                        : std::string())
+                << " (" << wall << "s wall)\n";
+
+      // Determinism seam: the loss-free run must reproduce its wire trace
+      // bit for bit under the same seed.
+      if (loss == 0.0) {
+        hypervisor::RuntimeResult repeat;
+        run_distributed(0.0, repeat);
+        if (repeat.trace_hash != res.trace_hash ||
+            repeat.final_cost != res.final_cost) {
+          std::cerr << "[dist-vs-cent] DETERMINISM FAILURE: " << spec.name
+                    << " trace hash " << std::hex << res.trace_hash << " vs "
+                    << repeat.trace_hash << std::dec << "\n";
+          ok = false;
+        }
+      }
+    }
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_results.json";
   std::string scale = "default";
+  std::string suite = "all";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -454,24 +612,51 @@ int main(int argc, char** argv) {
         std::cerr << "bench_runner: --scale must be 'default' or 'paper'\n";
         return 2;
       }
+    } else if (arg == "--suite" && i + 1 < argc) {
+      suite = argv[++i];
+      if (suite != "all" && suite != "fig2" && suite != "fig3" &&
+          suite != "micro" && suite != "paper-scale" &&
+          suite != "tokens-threads" && suite != "dist-vs-centralized") {
+        std::cerr << "bench_runner: --suite must be one of all, fig2, fig3, "
+                     "micro, paper-scale, tokens-threads, "
+                     "dist-vs-centralized\n";
+        return 2;
+      }
+    } else if (arg == "--mode" && i + 1 < argc) {
+      g_mode = argv[++i];
+      if (g_mode != "both" && g_mode != "centralized" && g_mode != "distributed") {
+        std::cerr << "bench_runner: --mode must be 'both', 'centralized' or "
+                     "'distributed'\n";
+        return 2;
+      }
     } else {
       std::cerr << "usage: bench_runner [--out FILE] [--quick] "
-                   "[--scale default|paper] [--threads N]\n";
+                   "[--scale default|paper] [--threads N] [--suite NAME] "
+                   "[--mode both|centralized|distributed]\n";
       return 2;
     }
   }
   g_paper_suite = scale == "paper";
+  const auto want = [&suite](const char* name) {
+    return suite == "all" || suite == name;
+  };
 
   score::bench::JsonReport report;
   report.set_scale_label(scale);
   score::bench::Stopwatch total;
   bool ok = true;
-  run_fig2(report);
-  run_fig3(report);
-  run_micro(report);
+  if (want("fig2")) run_fig2(report);
+  if (want("fig3")) run_fig3(report);
+  if (want("micro")) run_micro(report);
   if (g_paper_suite) {
-    run_paper_scale(report);
-    ok = run_tokens_threads(report) && ok;
+    if (want("paper-scale")) run_paper_scale(report);
+    if (want("tokens-threads")) ok = run_tokens_threads(report) && ok;
+    if (want("dist-vs-centralized")) ok = run_dist_vs_centralized(report) && ok;
+  }
+  if (report.size() == 0) {
+    std::cerr << "bench_runner: --suite " << suite
+              << " selected no benches at --scale " << scale << "\n";
+    return 2;
   }
 
   std::ofstream out(out_path);
@@ -483,7 +668,8 @@ int main(int argc, char** argv) {
   std::cerr << "wrote " << report.size() << " results to " << out_path
             << " in " << total.elapsed_s() << "s\n";
   if (!ok) {
-    std::cerr << "bench_runner: FAILED (tokens-threads cost parity violated)\n";
+    std::cerr << "bench_runner: FAILED (hard check violated — see messages "
+                 "above)\n";
     return 1;
   }
   return 0;

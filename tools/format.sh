@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Format every tracked C++ source with the committed .clang-format, or verify
+# formatting without touching the tree.
+#
+# Usage:
+#   tools/format.sh           # rewrite files in place
+#   tools/format.sh --check   # exit non-zero when any file needs formatting
+#                             # (what the CI `format` job runs)
+#
+# Override the binary with CLANG_FORMAT=clang-format-18 etc. Keep formatting
+# commits separate from functional changes so diffs stay reviewable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "format.sh: $CLANG_FORMAT not found (set CLANG_FORMAT=... to override)" >&2
+  exit 2
+fi
+
+mapfile -t files < <(git ls-files '*.cpp' '*.hpp')
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "format.sh: no tracked C++ sources found" >&2
+  exit 2
+fi
+
+if [ "${1:-}" = "--check" ]; then
+  "$CLANG_FORMAT" --dry-run --Werror "${files[@]}"
+  echo "format.sh: ${#files[@]} files clean"
+elif [ "${1:-}" = "" ]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "format.sh: ${#files[@]} files formatted"
+else
+  echo "usage: tools/format.sh [--check]" >&2
+  exit 2
+fi

@@ -9,9 +9,9 @@
 //
 // Examples:
 //   score_cli --topology fattree --k 8 --vms 256 --policy hlf --ga
-//   score_cli --topology canonical --racks 128 --hosts-per-rack 20 \
+//   score_cli --topology canonical --racks 128 --hosts-per-rack 20
 //             --vms 4096 --intensity dense --series
-//   score_cli --distributed --vms 128 --iterations 3
+//   score_cli --mode distributed --vms 128 --iterations 3 --loss 0.05
 //   score_cli --topology fattree --k 16 --vms 8192 --tokens 16 --threads 4
 #include <fstream>
 #include <iostream>
@@ -19,6 +19,7 @@
 #include "baselines/ga_optimizer.hpp"
 #include "baselines/placement.hpp"
 #include "core/metrics.hpp"
+#include "driver/convergence.hpp"
 #include "driver/multi_token.hpp"
 #include "core/scenario_io.hpp"
 #include "driver/simulation.hpp"
@@ -97,12 +98,21 @@ int main(int argc, char** argv) {
   flags.add_int("iterations", 8, "max token-passing iterations");
   flags.add_double("cm", 0.0, "migration cost c_m (cost units)");
   flags.add_bool("ga", false, "also run the GA normaliser and report the ratio");
+  flags.add_string("mode", "centralized",
+                   "execution mode: centralized (shared-memory loop) | "
+                   "distributed (message-passing dom0 runtime)");
   flags.add_bool("distributed", false,
-                 "use the message-passing dom0 runtime instead of the fast loop");
+                 "deprecated alias for --mode distributed");
   flags.add_bool("series", false, "print the cost-vs-time series as CSV");
   flags.add_string("save", "", "write the generated scenario snapshot to this file");
   flags.add_string("load", "", "load the scenario from a snapshot instead of generating");
-  flags.add_double("loss", 0.0, "control-message loss rate (distributed runtime only)");
+  flags.add_double("loss", 0.0, "control-message loss rate (distributed mode only)");
+  flags.add_double("budget-mb", 0.0,
+                   "migration-cost budget: total modeled pre-copy MB "
+                   "(0 = unlimited; distributed mode only)");
+  flags.add_bool("trace", false,
+                 "print the wire-trace hash (determinism seam; distributed "
+                 "mode only)");
 
   try {
     if (!flags.parse(argc, argv)) {
@@ -151,8 +161,15 @@ int main(int argc, char** argv) {
     ecfg.migration_cost = flags.get_double("cm");
     core::MigrationEngine engine(model, ecfg);
 
+    const std::string mode = flags.get_bool("distributed")
+                                 ? "distributed"
+                                 : flags.get_string("mode");
+    if (mode != "centralized" && mode != "distributed") {
+      throw std::invalid_argument("--mode must be centralized or distributed");
+    }
+
     driver::SimResult result;
-    if (flags.get_bool("distributed")) {
+    if (mode == "distributed") {
       hypervisor::RuntimeConfig rcfg;
       rcfg.policy = flags.get_string("policy") == "rr" ||
                             flags.get_string("policy") == "round-robin"
@@ -161,14 +178,37 @@ int main(int argc, char** argv) {
       rcfg.engine = ecfg;
       rcfg.iterations = static_cast<std::size_t>(flags.get_int("iterations"));
       rcfg.message_loss_rate = flags.get_double("loss");
+      rcfg.migration_budget_mb = flags.get_double("budget-mb");
       hypervisor::DistributedScoreRuntime runtime(model, alloc, tm, rcfg);
-      const auto r = runtime.run();
-      std::cout << "distributed runtime: cost " << r.initial_cost << " -> "
-                << r.final_cost << " (" << 100.0 * r.reduction() << "% reduction), "
-                << r.total_migrations << " migrations, " << r.token_messages
-                << " token msgs, " << r.location_messages << " location msgs, "
-                << r.capacity_messages << " capacity msgs, " << r.control_bytes
-                << " control bytes, " << r.duration_s << " s simulated\n";
+      const hypervisor::RuntimeResult r = runtime.run();
+      const driver::ConvergenceReport rep = r.report();
+      std::cout << rep.mode << " S-CORE: cost " << rep.initial_cost << " -> "
+                << rep.final_cost << " (" << 100.0 * rep.reduction()
+                << "% reduction), " << rep.migrations << " migrations, "
+                << rep.rounds << " rounds, " << rep.duration_s
+                << " s simulated\n";
+      std::cout << "control plane: " << rep.token_messages << " token msgs ("
+                << rep.token_bytes << " B), " << r.location_messages
+                << " location msgs, " << r.capacity_messages
+                << " capacity msgs, " << rep.control_bytes
+                << " control bytes total";
+      if (r.messages_lost > 0) {
+        std::cout << ", " << r.messages_lost << " lost / "
+                  << r.token_reinjections << " token retransmits / "
+                  << r.probe_timeouts << " probe timeouts";
+      }
+      std::cout << "\n";
+      std::cout << "live migration: " << r.migrated_mb << " MB pre-copied in "
+                << r.migration_time_s << " s";
+      if (r.budget_rejected > 0) {
+        std::cout << " (" << r.budget_rejected << " wins rejected by budget)";
+      }
+      std::cout << "\n";
+      if (flags.get_bool("trace")) {
+        std::cout << "trace hash: " << std::hex << r.trace_hash << std::dec
+                  << " (epoch " << r.final_epoch << ", ring position "
+                  << r.final_ring_pos << ")\n";
+      }
       return 0;
     }
 
@@ -190,10 +230,11 @@ int main(int argc, char** argv) {
       result = sim.run(scfg);
     }
 
-    std::cout << "S-CORE: cost " << result.initial_cost << " -> "
-              << result.final_cost << " (" << 100.0 * result.reduction()
-              << "% reduction), " << result.total_migrations << " migrations, "
-              << result.iterations.size() << " iterations, " << result.duration_s
+    const driver::ConvergenceReport rep = driver::summarize(result);
+    std::cout << rep.mode << " S-CORE: cost " << rep.initial_cost << " -> "
+              << rep.final_cost << " (" << 100.0 * rep.reduction()
+              << "% reduction), " << rep.migrations << " migrations, "
+              << rep.rounds << " rounds, " << rep.duration_s
               << " s simulated\n";
 
     const auto loads = core::link_loads_for(*topology, alloc, tm);
