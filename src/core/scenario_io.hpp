@@ -14,10 +14,35 @@
 //   <server> <ram_mb> <cpu_cores> <net_bps>            x m
 //   pairs <p>
 //   <u> <v> <rate>                                     x p
+//
+// v2 extends v1 to *continuous-operation* runs (driver/continuous): the VM
+// section describes the whole world — dormant VMs carry `-` instead of a
+// server id — and a trailing `events` section records the realized lifecycle
+// timeline (tenant arrivals / departures per traffic epoch), so any
+// continuous run can be dumped and byte-identically replayed:
+//
+//   score-scenario v2
+//   servers <n>
+//   <vm_slots> <ram_mb> <cpu_cores> <net_bps>          x n
+//   vms <m>
+//   <server|-> <ram_mb> <cpu_cores> <net_bps>          x m
+//   pairs <p>
+//   <u> <v> <rate>                                     x p
+//   events <e>
+//   <epoch> arrive|depart <first_vm> <count>           x e
+//
+// Event validation replays the timeline against the epoch-0 active set: an
+// `arrive` block must be entirely dormant at that point, a `depart` block
+// entirely active, epochs must be >= 1 and non-decreasing, within one epoch
+// every `depart` must precede the first `arrive` (the canonical order the
+// engine applies and emits), and every id must be in range — violations
+// throw with the offending line's context.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <utility>
+#include <vector>
 
 #include "core/allocation.hpp"
 #include "traffic/traffic_matrix.hpp"
@@ -36,5 +61,48 @@ void save_scenario(std::ostream& out, const Allocation& alloc,
 /// Parse a snapshot; throws std::runtime_error with a line-context message on
 /// any malformed input (bad magic, counts, ids, or infeasible placements).
 Scenario load_scenario(std::istream& in);
+
+// ---------------------------------------------------------------------------
+// v2: world scenarios with a lifecycle timeline (continuous operation).
+// ---------------------------------------------------------------------------
+
+enum class TimelineEventKind : std::uint8_t { kArrive, kDepart };
+
+/// One tenant lifecycle event: the VM block [first_vm, first_vm + count)
+/// arrives (is placed and starts exchanging traffic) or departs (frees its
+/// slots) at the start of traffic epoch `epoch`.
+struct TimelineEvent {
+  std::size_t epoch = 0;
+  TimelineEventKind kind = TimelineEventKind::kArrive;
+  VmId first_vm = 0;
+  std::uint32_t count = 0;
+
+  bool operator==(const TimelineEvent&) const = default;
+};
+
+/// A continuous-operation world: every VM that can ever exist, its epoch-0
+/// placement (kInvalidServer = dormant), the epoch-0 world traffic matrix and
+/// the realized lifecycle timeline. Pure data — the continuous engine
+/// produces one from a run (export) and consumes one for replay.
+struct WorldScenario {
+  std::vector<ServerCapacity> servers;
+  std::vector<VmSpec> vm_specs;
+  /// Per-world-VM epoch-0 server; kInvalidServer marks a dormant VM.
+  std::vector<ServerId> placement;
+  traffic::TrafficMatrix tm{1};
+  std::vector<TimelineEvent> timeline;
+
+  std::size_t num_vms() const { return vm_specs.size(); }
+  std::size_t num_active() const;
+};
+
+/// Write the world snapshot in canonical v2 form: save -> load -> save is
+/// byte-identical. The stream's formatting state is not preserved.
+void save_scenario_v2(std::ostream& out, const WorldScenario& world);
+
+/// Parse a v2 snapshot; throws std::runtime_error with a line-context message
+/// on any malformed input (bad magic, counts, ids, infeasible placements, or
+/// an inconsistent event timeline).
+WorldScenario load_scenario_v2(std::istream& in);
 
 }  // namespace score::core

@@ -96,6 +96,123 @@ TEST(Dynamics, AverageTmsRejectsBadInput) {
   EXPECT_THROW(average_tms({&a, &b}), std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Property tests (continuous-operation hardening): the continuous engine
+// leans on TrafficDynamics being a pure function of (config, k), on
+// elephant_overlap being a well-formed similarity, and on per-epoch load
+// staying within the configured jitter envelope.
+// ---------------------------------------------------------------------------
+
+TEST(DynamicsProperties, EpochIsIndependentOfAccessOrderAndCacheState) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    GeneratorConfig gen = small_gen();
+    gen.seed = seed;
+
+    TrafficDynamics sequential(gen, DynamicsConfig{});
+    TrafficDynamics shuffled(gen, DynamicsConfig{});
+    TrafficDynamics probed(gen, DynamicsConfig{});
+
+    for (std::size_t k = 0; k <= 6; ++k) (void)sequential.epoch(k);
+    for (const std::size_t k : {6u, 2u, 5u, 0u, 3u, 1u, 4u}) {
+      (void)shuffled.epoch(k);
+    }
+    // Interleave overlap queries so the third instance reaches each epoch
+    // with different internal cache state.
+    (void)probed.elephant_overlap(2, 4);
+    (void)probed.epoch(6);
+    (void)probed.elephant_overlap(0, 6);
+
+    for (std::size_t k = 0; k <= 6; ++k) {
+      EXPECT_EQ(sequential.epoch(k).pairs(), shuffled.epoch(k).pairs())
+          << "seed " << seed << " epoch " << k;
+      EXPECT_EQ(sequential.epoch(k).pairs(), probed.epoch(k).pairs())
+          << "seed " << seed << " epoch " << k;
+    }
+  }
+}
+
+TEST(DynamicsProperties, ElephantOverlapIsAValidSimilarity) {
+  TrafficDynamics dyn(small_gen(), DynamicsConfig{});
+  for (std::size_t a = 0; a <= 5; ++a) {
+    EXPECT_DOUBLE_EQ(dyn.elephant_overlap(a, a), 1.0);
+    for (std::size_t b = 0; b <= 5; ++b) {
+      const double o = dyn.elephant_overlap(a, b);
+      EXPECT_GE(o, 0.0) << a << "," << b;
+      EXPECT_LE(o, 1.0) << a << "," << b;
+      EXPECT_DOUBLE_EQ(o, dyn.elephant_overlap(b, a)) << a << "," << b;
+    }
+  }
+}
+
+TEST(DynamicsProperties, AdjacentOverlapMeetsPersistenceDerivedBound) {
+  // If a fraction p of elephants survives with endpoints intact, the Jaccard
+  // overlap of adjacent sets is at least p/(2-p) in expectation. The clean
+  // bound needs the other churn channels off: rate jitter and mice redraws
+  // both move the per-epoch percentile threshold, flipping boundary pairs in
+  // and out of the elephant set.
+  DynamicsConfig cfg;  // elephant_persistence = 0.97
+  cfg.rate_jitter_sigma = 0.0;
+  cfg.mice_churn = 0.0;
+  TrafficDynamics dyn(small_gen(), cfg);
+  const double p = cfg.elephant_persistence;
+  const double bound = p / (2.0 - p) - 0.1;  // small-sample slack
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_GE(dyn.elephant_overlap(k, k + 1), bound) << "epochs " << k;
+  }
+
+  // With the default jitter the threshold-boundary churn costs more, but
+  // adjacent hotspot sets must still be recognisably "fixed" (§VI-B).
+  TrafficDynamics jittered(small_gen(), DynamicsConfig{});
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_GE(jittered.elephant_overlap(k, k + 1), 0.5) << "epochs " << k;
+  }
+}
+
+TEST(DynamicsProperties, LowPersistenceLowersAdjacentOverlap) {
+  DynamicsConfig sticky;  // 0.97
+  DynamicsConfig loose;
+  loose.elephant_persistence = 0.3;
+  TrafficDynamics a(small_gen(), sticky);
+  TrafficDynamics b(small_gen(), loose);
+  double sticky_sum = 0.0, loose_sum = 0.0;
+  for (std::size_t k = 0; k < 6; ++k) {
+    sticky_sum += a.elephant_overlap(k, k + 1);
+    loose_sum += b.elephant_overlap(k, k + 1);
+  }
+  EXPECT_GT(sticky_sum, loose_sum);
+}
+
+TEST(DynamicsProperties, PerEpochTotalRateStaysWithinJitterBounds) {
+  DynamicsConfig cfg;
+  cfg.rate_jitter_sigma = 0.2;
+  TrafficDynamics dyn(small_gen(), cfg);
+  // Multiplicative lognormal jitter averaged over hundreds of pairs: the
+  // epoch-over-epoch total may drift by the jitter mean exp(sigma^2/2) plus
+  // sampling noise, but never by a whole jitter sigma. (Re-drawn pairs whose
+  // endpoints collide are dropped, so a slight downward drift is legal too.)
+  for (std::size_t k = 1; k <= 8; ++k) {
+    const double ratio =
+        dyn.epoch(k).total_load() / dyn.epoch(k - 1).total_load();
+    EXPECT_GT(ratio, std::exp(-cfg.rate_jitter_sigma)) << "epoch " << k;
+    EXPECT_LT(ratio, std::exp(cfg.rate_jitter_sigma)) << "epoch " << k;
+  }
+}
+
+TEST(DynamicsProperties, ZeroJitterConservesLoadUpToDroppedRedraws) {
+  DynamicsConfig cfg;
+  cfg.rate_jitter_sigma = 0.0;
+  TrafficDynamics dyn(small_gen(), cfg);
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const double ratio =
+        dyn.epoch(k).total_load() / dyn.epoch(k - 1).total_load();
+    // Without jitter the only loss channel is a re-drawn pair colliding into
+    // u == v (probability ~1/num_vms per redraw) or landing on an existing
+    // pair; no channel ever creates rate.
+    EXPECT_LE(ratio, 1.0 + 1e-12) << "epoch " << k;
+    EXPECT_GT(ratio, 0.9) << "epoch " << k;
+  }
+}
+
 TEST(Dynamics, WindowAveragingSuppressesOscillation) {
   // §VI-B stability: converge on the averaged TM, then expose the allocation
   // to instantaneous epochs. Decisions on the *average* trigger almost no

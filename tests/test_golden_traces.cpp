@@ -1,0 +1,184 @@
+// Golden-trace regression suite: canonical continuous-operation runs are
+// rendered to a stable text form (timeline, per-epoch net migration logs,
+// costs at 6 significant digits, structural trace hash) and compared byte
+// for byte against the expectations committed under tests/golden/. Any
+// behavioural drift — an extra migration, a reordered event, a cost shift —
+// fails here even when the aggregate cost gates would still pass.
+//
+// To intentionally re-bless after a behaviour-changing commit:
+//   tools/regen_golden.sh <build-dir>      (sets SCORE_REGEN_GOLDEN=1)
+// then review the diff of tests/golden/ like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/scenario_io.hpp"
+#include "driver/continuous.hpp"
+#include "topology/canonical_tree.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace score {
+namespace {
+
+std::string golden_dir() { return SCORE_GOLDEN_DIR; }
+
+bool regen_requested() {
+  const char* env = std::getenv("SCORE_REGEN_GOLDEN");
+  return env != nullptr && std::string(env) == "1";
+}
+
+std::string fmt6(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Canonical rendering: every byte is either integer-derived (timeline,
+/// migration logs, counters, trace hash) or a cost at 6 significant digits.
+std::string render(const std::string& name,
+                   const driver::SteadyStateReport& report) {
+  std::ostringstream out;
+  out << "score-golden v1\n";
+  out << "case " << name << "\n";
+  out << "mode " << report.mode << "\n";
+  out << "timeline " << report.world.timeline.size() << "\n";
+  for (const core::TimelineEvent& ev : report.world.timeline) {
+    out << ev.epoch << ' '
+        << (ev.kind == core::TimelineEventKind::kArrive ? "arrive" : "depart")
+        << ' ' << ev.first_vm << ' ' << ev.count << "\n";
+  }
+  out << "epochs " << report.epochs.size() << "\n";
+  for (const driver::EpochReport& er : report.epochs) {
+    out << "epoch " << er.epoch << " active " << er.active_vms << " arrived "
+        << er.arrived_vms << " departed " << er.departed_vms << " rejected "
+        << er.rejected_vms << " migrations " << er.migrations << " rounds "
+        << er.rounds << "\n";
+    out << "  cost_before " << fmt6(er.cost_before) << " cost_after "
+        << fmt6(er.cost_after) << " fresh " << fmt6(er.fresh_cost) << "\n";
+    out << "  moves " << er.changes.size() << "\n";
+    for (const driver::PlacementChange& mv : er.changes) {
+      out << "  " << mv.world_vm << ' ' << mv.from << " -> " << mv.to << "\n";
+    }
+  }
+  char hash[32];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(report.trace_hash));
+  out << "trace_hash " << hash << "\n";
+  return out.str();
+}
+
+void check_or_regen(const std::string& name, const std::string& actual) {
+  const std::string path = golden_dir() + "/" + name + ".golden";
+  if (regen_requested()) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    std::cout << "[ REBLESS ] " << path << " (" << actual.size() << " bytes)\n";
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — run tools/regen_golden.sh to create it";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+  if (expected == actual) return;
+
+  // Byte-level drift: report the first diverging line for a usable message.
+  std::istringstream ea(expected), aa(actual);
+  std::string el, al;
+  std::size_t line = 1;
+  while (true) {
+    const bool eg = static_cast<bool>(std::getline(ea, el));
+    const bool ag = static_cast<bool>(std::getline(aa, al));
+    if (!eg && !ag) break;
+    if (!eg || !ag || el != al) {
+      FAIL() << name << ": golden trace drift at line " << line
+             << "\n  expected: " << (eg ? el : std::string("<eof>"))
+             << "\n  actual:   " << (ag ? al : std::string("<eof>"))
+             << "\nIf this change is intentional, re-bless with "
+                "tools/regen_golden.sh and commit the tests/golden/ diff.";
+    }
+    ++line;
+  }
+  FAIL() << name << ": golden trace drift (same lines, different bytes — "
+            "line-ending change?)";
+}
+
+driver::ContinuousConfig base_config() {
+  driver::ContinuousConfig cfg;
+  cfg.generator.num_vms = 64;
+  cfg.generator.seed = 2014;
+  cfg.dynamics.seed = 99;
+  cfg.epochs = 4;
+  cfg.tenant_vms = 8;
+  cfg.initial_active_fraction = 0.7;
+  cfg.arrival_prob = 0.4;
+  cfg.departure_prob = 0.25;
+  cfg.lifecycle_seed = 77;
+  cfg.server_capacity.vm_slots = 4;
+  cfg.server_capacity.ram_mb = 4 * 256.0;
+  cfg.server_capacity.cpu_cores = 4.0;
+  cfg.iterations_per_epoch = 4;
+  return cfg;
+}
+
+TEST(GoldenTraces, CanonicalTreeCentralizedRoundRobin) {
+  topo::CanonicalTreeConfig tcfg;
+  tcfg.racks = 8;
+  tcfg.hosts_per_rack = 4;
+  tcfg.racks_per_pod = 2;
+  tcfg.cores = 2;
+  topo::CanonicalTree topology(tcfg);
+  driver::ContinuousEngine engine(topology, base_config());
+  check_or_regen("canonical-centralized-rr", render("canonical-centralized-rr",
+                                                    engine.run()));
+}
+
+TEST(GoldenTraces, CanonicalTreeCentralizedMultiToken) {
+  topo::CanonicalTreeConfig tcfg;
+  tcfg.racks = 8;
+  tcfg.hosts_per_rack = 4;
+  tcfg.racks_per_pod = 2;
+  tcfg.cores = 2;
+  topo::CanonicalTree topology(tcfg);
+  driver::ContinuousConfig cfg = base_config();
+  cfg.tokens = 4;  // multi-token driver; results are ExecPolicy-invariant
+  driver::ContinuousEngine engine(topology, cfg);
+  check_or_regen("canonical-centralized-tokens4",
+                 render("canonical-centralized-tokens4", engine.run()));
+}
+
+TEST(GoldenTraces, FatTreeDistributedZeroLoss) {
+  topo::FatTree topology(topo::FatTreeConfig{.k = 4});
+  driver::ContinuousConfig cfg = base_config();
+  cfg.generator.num_vms = 48;  // k=4 fat tree: 16 hosts x 4 slots
+  cfg.mode = "distributed";
+  cfg.epochs = 3;
+  driver::ContinuousEngine engine(topology, cfg);
+  check_or_regen("fattree-distributed-loss0",
+                 render("fattree-distributed-loss0", engine.run()));
+}
+
+// The exported v2 world snapshot is part of the golden contract too: it is
+// the replay seed for the runs above, so format drift must be deliberate.
+TEST(GoldenTraces, WorldSnapshotV2Dump) {
+  topo::CanonicalTreeConfig tcfg;
+  tcfg.racks = 8;
+  tcfg.hosts_per_rack = 4;
+  tcfg.racks_per_pod = 2;
+  tcfg.cores = 2;
+  topo::CanonicalTree topology(tcfg);
+  driver::ContinuousEngine engine(topology, base_config());
+  const driver::SteadyStateReport report = engine.run();
+  std::ostringstream dump;
+  core::save_scenario_v2(dump, report.world);
+  check_or_regen("canonical-world-v2", dump.str());
+}
+
+}  // namespace
+}  // namespace score

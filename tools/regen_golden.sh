@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Re-bless the golden-trace expectations under tests/golden/.
+#
+# The golden suite (tests/test_golden_traces.cpp) fails on ANY byte-level
+# drift of the canonical continuous-operation traces. When a commit changes
+# behaviour on purpose (new decision rule, different event ordering, cost
+# model change), regenerate the expectations with this script, then review
+# the `git diff tests/golden/` like any other code change and commit it
+# together with the code.
+#
+# Usage:  tools/regen_golden.sh [build-dir]     (default: ./build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [ ! -d "$repo_root/$build_dir" ] && [ ! -d "$build_dir" ]; then
+  echo "regen_golden: build directory '$build_dir' not found." >&2
+  echo "Configure and build first:  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+cd "$repo_root"
+
+cmake --build "$build_dir" -j --target test_golden_traces
+
+echo "regen_golden: re-blessing tests/golden/ ..."
+SCORE_REGEN_GOLDEN=1 "$build_dir/tests/test_golden_traces"
+
+echo
+echo "regen_golden: done. Review the diff before committing:"
+git -C "$repo_root" --no-pager diff --stat -- tests/golden/ || true

@@ -13,12 +13,16 @@
 //             --vms 4096 --intensity dense --series
 //   score_cli --mode distributed --vms 128 --iterations 3 --loss 0.05
 //   score_cli --topology fattree --k 16 --vms 8192 --tokens 16 --threads 4
+//   score_cli --mode continuous --vms 256 --epochs 8 --arrival-prob 0.3
+//             --departure-prob 0.1 --save world.v2
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 
 #include "baselines/ga_optimizer.hpp"
 #include "baselines/placement.hpp"
 #include "core/metrics.hpp"
+#include "driver/continuous.hpp"
 #include "driver/convergence.hpp"
 #include "driver/multi_token.hpp"
 #include "core/scenario_io.hpp"
@@ -75,6 +79,92 @@ baselines::PlacementStrategy parse_placement(const std::string& name) {
   throw std::invalid_argument("--placement must be random, round-robin or packed");
 }
 
+// Continuous-operation mode: VM lifecycle churn over dynamic traffic epochs,
+// re-optimised every epoch (driver/continuous). Prints the per-epoch
+// steady-state table; --save dumps the world + realized timeline as a
+// scenario_io v2 snapshot, --load replays a previously dumped one.
+int run_continuous(const topo::Topology& topology, const util::Flags& flags) {
+  driver::ContinuousConfig cfg;
+  cfg.generator.num_vms = static_cast<std::size_t>(flags.get_int("vms"));
+  cfg.generator.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  cfg.dynamics.seed = cfg.generator.seed + 1;
+  cfg.intensity_scale =
+      traffic::intensity_scale(parse_intensity(flags.get_string("intensity")));
+  cfg.epochs = static_cast<std::size_t>(flags.get_int("epochs"));
+  cfg.tenant_vms = static_cast<std::size_t>(flags.get_int("tenant-vms"));
+  cfg.arrival_prob = flags.get_double("arrival-prob");
+  cfg.departure_prob = flags.get_double("departure-prob");
+  cfg.lifecycle_seed = static_cast<std::uint64_t>(flags.get_int("lifecycle-seed"));
+  cfg.placement = parse_placement(flags.get_string("placement"));
+  cfg.server_capacity.vm_slots = static_cast<std::size_t>(flags.get_int("slots"));
+  cfg.server_capacity.ram_mb = static_cast<double>(cfg.server_capacity.vm_slots) * 256.0;
+  cfg.server_capacity.cpu_cores = static_cast<double>(cfg.server_capacity.vm_slots);
+  cfg.iterations_per_epoch = static_cast<std::size_t>(flags.get_int("iterations"));
+  cfg.engine.migration_cost = flags.get_double("cm");
+  cfg.tokens = static_cast<std::size_t>(flags.get_int("tokens"));
+  const int threads = flags.get_int("threads");
+  cfg.exec = threads > 0 ? util::ExecPolicy::par(static_cast<std::size_t>(threads))
+                         : util::ExecPolicy::seq();
+  if (flags.get_bool("distributed")) {
+    cfg.mode = "distributed";
+  }
+  if (flags.get_double("loss") > 0.0 || flags.get_double("budget-mb") > 0.0) {
+    cfg.mode = "distributed";
+    cfg.runtime.message_loss_rate = flags.get_double("loss");
+    cfg.runtime.migration_budget_mb = flags.get_double("budget-mb");
+  }
+  // --policy reaches the distributed per-epoch optimiser only; the
+  // centralized multi-token path visits VMs in Round-Robin order.
+  cfg.runtime.policy = flags.get_string("policy") == "rr" ||
+                               flags.get_string("policy") == "round-robin"
+                           ? "round-robin"
+                           : "highest-level-first";
+
+  driver::ContinuousEngine engine(topology, cfg);
+  driver::SteadyStateReport report;
+  if (!flags.get_string("load").empty()) {
+    std::ifstream in(flags.get_string("load"));
+    if (!in) throw std::runtime_error("cannot open " + flags.get_string("load"));
+    const core::WorldScenario world = core::load_scenario_v2(in);
+    report = engine.replay(world);
+  } else {
+    report = engine.run();
+  }
+
+  std::cout << "continuous S-CORE (" << report.mode << "), "
+            << report.epochs.size() << " epochs, world of "
+            << report.world.num_vms() << " VMs\n";
+  std::cout << "epoch  active  +arr  -dep  cost_before    cost_after     "
+               "fresh_reopt    ratio   migr  MB      rounds\n";
+  for (const driver::EpochReport& er : report.epochs) {
+    std::cout << std::setw(5) << er.epoch << std::setw(8) << er.active_vms
+              << std::setw(6) << er.arrived_vms << std::setw(6)
+              << er.departed_vms << "  " << std::setw(13) << er.cost_before
+              << "  " << std::setw(13) << er.cost_after << "  " << std::setw(13)
+              << er.fresh_cost << "  " << std::setw(6) << std::setprecision(4)
+              << er.cost_ratio() << std::setprecision(6) << std::setw(7)
+              << er.migrations << std::setw(8) << static_cast<long long>(er.migrated_mb)
+              << std::setw(7) << er.rounds << "\n";
+  }
+  std::cout << "steady state: mean cost ratio vs fresh re-opt "
+            << report.mean_cost_ratio() << " (max " << report.max_cost_ratio()
+            << "), " << report.total_migrations() << " migrations, "
+            << report.total_migrated_mb() << " MB pre-copied, "
+            << report.world.timeline.size() << " lifecycle events\n";
+  if (flags.get_bool("trace")) {
+    std::cout << "trace hash: " << std::hex << report.trace_hash << std::dec
+              << "\n";
+  }
+  if (!flags.get_string("save").empty()) {
+    std::ofstream out(flags.get_string("save"));
+    if (!out) throw std::runtime_error("cannot open " + flags.get_string("save"));
+    core::save_scenario_v2(out, report.world);
+    std::cout << "world snapshot (v2) written to " << flags.get_string("save")
+              << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,7 +190,15 @@ int main(int argc, char** argv) {
   flags.add_bool("ga", false, "also run the GA normaliser and report the ratio");
   flags.add_string("mode", "centralized",
                    "execution mode: centralized (shared-memory loop) | "
-                   "distributed (message-passing dom0 runtime)");
+                   "distributed (message-passing dom0 runtime) | "
+                   "continuous (lifecycle churn over dynamic traffic epochs)");
+  flags.add_int("epochs", 6, "continuous mode: traffic epochs to run");
+  flags.add_int("tenant-vms", 8, "continuous mode: world VMs per tenant block");
+  flags.add_double("arrival-prob", 0.25,
+                   "continuous mode: per-epoch dormant-tenant arrival probability");
+  flags.add_double("departure-prob", 0.08,
+                   "continuous mode: per-epoch active-tenant departure probability");
+  flags.add_int("lifecycle-seed", 7, "continuous mode: lifecycle stream seed");
   flags.add_bool("distributed", false,
                  "deprecated alias for --mode distributed");
   flags.add_bool("series", false, "print the cost-vs-time series as CSV");
@@ -121,6 +219,11 @@ int main(int argc, char** argv) {
     }
 
     auto topology = make_topology(flags);
+
+    if (flags.get_string("mode") == "continuous") {
+      return run_continuous(*topology, flags);
+    }
+
     core::CostModel model(*topology,
                           core::LinkWeights::exponential(topology->max_level()));
 
@@ -165,7 +268,8 @@ int main(int argc, char** argv) {
                                  ? "distributed"
                                  : flags.get_string("mode");
     if (mode != "centralized" && mode != "distributed") {
-      throw std::invalid_argument("--mode must be centralized or distributed");
+      throw std::invalid_argument(
+          "--mode must be centralized, distributed or continuous");
     }
 
     driver::SimResult result;

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py (schema rejection, perf-gate trips,
+--allow-new). Stdlib only; run directly, via `ctest -R python_tools_test`, or
+through the CI `python-tools-test` step:
+
+    python3 tools/test_bench_compare.py -v
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_compare as bc
+
+
+def make_record(suite="micro", scenario="total_cost", **overrides):
+    record = {
+        "suite": suite,
+        "scenario": scenario,
+        "wall_time_s": 1.5,
+        "cost_reduction_pct": 40.0,
+        "migrations": 12,
+    }
+    record.update(overrides)
+    return record
+
+
+def make_doc(records):
+    return {"schema": "score-bench/v1", "scale": "default", "results": records}
+
+
+def gate_args(**overrides):
+    defaults = dict(ns_tolerance=0.25, ns_floor=100.0, checksum_rtol=1e-6,
+                    reduction_atol=1.0, fail_on_new=True)
+    defaults.update(overrides)
+    return argparse.Namespace(**defaults)
+
+
+class ValidateTests(unittest.TestCase):
+    def test_valid_document_passes(self):
+        doc = make_doc([make_record()])
+        self.assertEqual(bc.validate(doc, "f"), [])
+
+    def test_top_level_must_be_object(self):
+        self.assertTrue(bc.validate([], "f"))
+
+    def test_wrong_schema_string_rejected(self):
+        doc = make_doc([make_record()])
+        doc["schema"] = "score-bench/v2"
+        errors = bc.validate(doc, "f")
+        self.assertTrue(any("schema" in e for e in errors))
+
+    def test_unknown_scale_rejected(self):
+        doc = make_doc([make_record()])
+        doc["scale"] = "galactic"
+        errors = bc.validate(doc, "f")
+        self.assertTrue(any("scale" in e for e in errors))
+
+    def test_empty_results_rejected(self):
+        errors = bc.validate(make_doc([]), "f")
+        self.assertTrue(any("non-empty" in e for e in errors))
+
+    def test_missing_required_field_rejected(self):
+        record = make_record()
+        del record["migrations"]
+        errors = bc.validate(make_doc([record]), "f")
+        self.assertTrue(any("migrations" in e for e in errors))
+
+    def test_bool_masquerading_as_number_rejected(self):
+        errors = bc.validate(make_doc([make_record(wall_time_s=True)]), "f")
+        self.assertTrue(any("wall_time_s" in e for e in errors))
+
+    def test_non_numeric_metric_rejected(self):
+        errors = bc.validate(make_doc([make_record(ns_per_call="fast")]), "f")
+        self.assertTrue(any("ns_per_call" in e for e in errors))
+
+    def test_duplicate_suite_scenario_rejected(self):
+        errors = bc.validate(make_doc([make_record(), make_record()]), "f")
+        self.assertTrue(any("duplicate" in e for e in errors))
+
+
+class CompareTests(unittest.TestCase):
+    def run_compare(self, baseline, candidate, **args):
+        return bc.compare(make_doc(baseline), make_doc(candidate), gate_args(**args))
+
+    def test_identical_documents_pass(self):
+        records = [make_record(ns_per_call=500.0)]
+        self.assertEqual(self.run_compare(records, copy.deepcopy(records)), 0)
+
+    def test_ns_per_call_regression_over_25pct_trips_gate(self):
+        base = [make_record(ns_per_call=1000.0)]
+        cand = [make_record(ns_per_call=1300.0)]  # +30% > +25%
+        self.assertEqual(self.run_compare(base, cand), 1)
+
+    def test_ns_per_call_regression_within_tolerance_passes(self):
+        base = [make_record(ns_per_call=1000.0)]
+        cand = [make_record(ns_per_call=1200.0)]  # +20%
+        self.assertEqual(self.run_compare(base, cand), 0)
+
+    def test_timer_noise_floor_shields_fast_operations(self):
+        base = [make_record(ns_per_call=3.0)]
+        cand = [make_record(ns_per_call=50.0)]  # huge ratio, still < 100 ns
+        self.assertEqual(self.run_compare(base, cand), 0)
+
+    def test_checksum_divergence_trips_gate(self):
+        base = [make_record(checksum_per_call=10.0)]
+        cand = [make_record(checksum_per_call=10.1)]
+        self.assertEqual(self.run_compare(base, cand), 1)
+
+    def test_raw_checksum_only_compared_at_equal_call_counts(self):
+        base = [make_record(checksum=100.0, calls=10)]
+        cand = [make_record(checksum=999.0, calls=20)]  # different rep count
+        self.assertEqual(self.run_compare(base, cand), 0)
+
+    def test_cost_reduction_drift_trips_gate(self):
+        base = [make_record(cost_reduction_pct=40.0)]
+        cand = [make_record(cost_reduction_pct=38.5)]  # |Δ| 1.5 pp > 1.0
+        self.assertEqual(self.run_compare(base, cand), 1)
+
+    def test_new_scenario_fails_by_default(self):
+        base = [make_record()]
+        cand = [make_record(), make_record(scenario="brand-new")]
+        self.assertEqual(self.run_compare(base, cand), 1)
+
+    def test_allow_new_permits_new_scenarios(self):
+        base = [make_record()]
+        cand = [make_record(), make_record(scenario="brand-new")]
+        self.assertEqual(self.run_compare(base, cand, fail_on_new=False), 0)
+
+    def test_baseline_only_scenario_is_skipped_not_failed(self):
+        base = [make_record(), make_record(scenario="paper-only")]
+        cand = [make_record()]
+        self.assertEqual(self.run_compare(base, cand), 0)
+
+    def test_disjoint_documents_fail(self):
+        base = [make_record(scenario="a")]
+        cand = [make_record(scenario="b")]
+        self.assertEqual(self.run_compare(base, cand, fail_on_new=False), 1)
+
+
+class MainEndToEndTests(unittest.TestCase):
+    """Drive main() exactly as CI does, through argv and real files."""
+
+    def write(self, doc):
+        f = tempfile.NamedTemporaryFile("w", suffix=".json", delete=False,
+                                        dir=self.tmp.name)
+        json.dump(doc, f)
+        f.close()
+        return f.name
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        self.argv = sys.argv
+
+    def tearDown(self):
+        sys.argv = self.argv
+
+    def run_main(self, *args):
+        sys.argv = ["bench_compare.py", *args]
+        return bc.main()
+
+    def test_validate_accepts_good_file(self):
+        path = self.write(make_doc([make_record()]))
+        self.assertEqual(self.run_main("--validate", path), 0)
+
+    def test_validate_rejects_schema_drift(self):
+        doc = make_doc([make_record()])
+        doc["schema"] = "not-score-bench"
+        self.assertEqual(self.run_main("--validate", self.write(doc)), 1)
+
+    def test_gate_trip_through_files(self):
+        base = self.write(make_doc([make_record(ns_per_call=1000.0)]))
+        cand = self.write(make_doc([make_record(ns_per_call=2000.0)]))
+        self.assertEqual(self.run_main(base, cand), 1)
+
+    def test_allow_new_flag_through_files(self):
+        base = self.write(make_doc([make_record()]))
+        cand = self.write(make_doc([make_record(),
+                                    make_record(scenario="new-suite")]))
+        self.assertEqual(self.run_main(base, cand), 1)
+        self.assertEqual(self.run_main("--allow-new", base, cand), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
