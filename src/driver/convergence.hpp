@@ -37,6 +37,11 @@ struct ConvergenceReport {
   std::uint64_t control_messages = 0;  ///< all control messages incl. probes
   std::uint64_t control_bytes = 0;
 
+  /// Structural wire-trace hash (FNV-1a over every send, in order). Zero in
+  /// centralized mode; in distributed mode it is the one-word equality check
+  /// the in-process/multi-process differential tests compare.
+  std::uint64_t trace_hash = 0;
+
   double reduction() const {
     return initial_cost > 0.0 ? 1.0 - final_cost / initial_cost : 0.0;
   }

@@ -1,0 +1,457 @@
+#include "hypervisor/agent.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "hypervisor/wire.hpp"
+
+namespace score::hypervisor {
+
+namespace {
+
+using wire::get_u32;
+using wire::put_u32;
+
+// ---- token policies over pure token state -----------------------------------
+
+std::size_t index_of(const std::vector<TokenWireEntry>& entries, Ipv4 vm) {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), vm,
+      [](const TokenWireEntry& e, Ipv4 v) { return e.vm_id < v; });
+  if (it == entries.end() || it->vm_id != vm) {
+    throw std::logic_error("token does not contain the holder VM");
+  }
+  return static_cast<std::size_t>(it - entries.begin());
+}
+
+Ipv4 next_round_robin(const std::vector<TokenWireEntry>& entries, Ipv4 holder) {
+  const std::size_t i = index_of(entries, holder);
+  return entries[(i + 1) % entries.size()].vm_id;
+}
+
+/// Algorithm 1 with the per-round checked bits carried in the token.
+Ipv4 next_highest_level_first(std::vector<TokenWireEntry>& entries, Ipv4 holder) {
+  const std::size_t n = entries.size();
+  const std::size_t h = index_of(entries, holder);
+  entries[h].checked = true;
+  if (n == 1) return holder;
+
+  const bool all_checked =
+      std::all_of(entries.begin(), entries.end(),
+                  [](const TokenWireEntry& e) { return e.checked; });
+  if (!all_checked) {
+    for (int cl = entries[h].level; cl >= 0; --cl) {
+      for (std::size_t step = 1; step < n; ++step) {
+        const TokenWireEntry& z = entries[(h + step) % n];
+        if (!z.checked && z.level == cl) return z.vm_id;
+      }
+    }
+    // Unchecked VMs remain only above the holder's level.
+    const TokenWireEntry* best = nullptr;
+    for (const TokenWireEntry& e : entries) {
+      if (!e.checked && (best == nullptr || e.level > best->level)) best = &e;
+    }
+    if (best != nullptr) return best->vm_id;
+  }
+
+  // New round: clear checked, restart from the lowest-id max-level VM.
+  for (TokenWireEntry& e : entries) e.checked = false;
+  std::uint8_t max_level = 0;
+  for (const TokenWireEntry& e : entries) max_level = std::max(max_level, e.level);
+  for (const TokenWireEntry& e : entries) {
+    if (e.level == max_level && e.vm_id != holder) return e.vm_id;
+  }
+  return entries[(h + 1) % n].vm_id;
+}
+
+}  // namespace
+
+void Dom0Agent::on_message(const sim::Message& msg) {
+  switch (static_cast<CtrlMsg>(msg.type)) {
+    case CtrlMsg::kToken: {
+      on_token(msg);
+      return;
+    }
+    case CtrlMsg::kLocationRequest: {
+      // A peer's dom0 asks where we are: answer with subject VM + our address
+      // (the NAT redirect delivers the probe to dom0, which replies, §V-B.4).
+      std::vector<std::uint8_t> payload;
+      put_u32(payload, get_u32(msg.payload, 0));                 // subject VM
+      put_u32(payload, env_->hv().ipam().host_address(host_));   // our dom0 addr
+      put_u32(payload, get_u32(msg.payload, 4));                 // echo nonce
+      env_->comm().send(CtrlMsg::kLocationResponse, host_, msg.src,
+                        std::move(payload));
+      return;
+    }
+    case CtrlMsg::kLocationResponse: {
+      if (!pending_ || pending_->stage != kLocations ||
+          pending_->awaiting_locations == 0) {
+        return;
+      }
+      if (get_u32(msg.payload, 8) != pending_->nonce) return;  // stale attempt
+      const Ipv4 subject = get_u32(msg.payload, 0);
+      const Ipv4 dom0 = get_u32(msg.payload, 4);
+      if (pending_->peer_dom0.count(subject)) return;  // duplicate
+      pending_->peer_dom0[subject] = dom0;
+      if (--pending_->awaiting_locations == 0) on_locations_complete();
+      return;
+    }
+    case CtrlMsg::kCapacityRequest: {
+      // Report residual capacity (free slots + available RAM, extended with
+      // CPU and NIC bandwidth, §V-B.5) for our server.
+      const HostCapacity cap = env_->hv().host_capacity(host_);
+      std::vector<std::uint8_t> payload;
+      put_u32(payload, get_u32(msg.payload, 0));                // echo nonce
+      put_u32(payload, env_->hv().ipam().host_address(host_));  // who answers
+      put_u32(payload, static_cast<std::uint32_t>(cap.free_slots));
+      put_u32(payload, static_cast<std::uint32_t>(cap.free_ram_mb));
+      put_u32(payload, static_cast<std::uint32_t>(cap.free_cpu * 1000.0));
+      put_u32(payload,
+              static_cast<std::uint32_t>(cap.free_net_bps / 1000.0));  // kbps
+      env_->comm().send(CtrlMsg::kCapacityResponse, host_, msg.src,
+                        std::move(payload));
+      return;
+    }
+    case CtrlMsg::kCapacityResponse: {
+      if (!pending_ || pending_->stage != kCapacities ||
+          pending_->awaiting_capacities == 0) {
+        return;
+      }
+      if (get_u32(msg.payload, 0) != pending_->nonce) return;  // stale attempt
+      const Ipv4 who = get_u32(msg.payload, 4);
+      if (pending_->capacities.count(who)) return;  // duplicate
+      CapInfo info;
+      info.free_slots = get_u32(msg.payload, 8);
+      info.free_ram_mb = get_u32(msg.payload, 12);
+      info.free_cpu = get_u32(msg.payload, 16) / 1000.0;
+      info.free_net_bps = get_u32(msg.payload, 20) * 1000.0;
+      pending_->capacities[who] = info;
+      if (--pending_->awaiting_capacities == 0) on_capacities_complete();
+      return;
+    }
+  }
+}
+
+void Dom0Agent::on_token(const sim::Message& msg) {
+  if (env_->stopped()) return;
+  Token token = decode_token(msg.payload);
+  const Ipam& ipam = env_->hv().ipam();
+
+  // A token can land on a stale host when the holder VM was drained while the
+  // token was in flight (churn): the NAT redirect forwards it to the VM's
+  // current hypervisor.
+  const topo::HostId holder_host = ipam.vm_host(token.holder);
+  if (holder_host != host_) {
+    env_->comm().send(CtrlMsg::kToken, host_, holder_host,
+                      std::vector<std::uint8_t>(msg.payload));
+    return;
+  }
+
+  PendingDecision p;
+  p.token = std::move(token);
+  p.nonce = next_nonce_++;
+
+  // §V-B.1/3: poll the datapath into the flow table, then aggregate the
+  // per-peer throughput over the measurement window. Ground-truth byte
+  // counters come from the TM (the simulated Open vSwitch). Entries that
+  // predate the window — left by drained VMs or aborted decision attempts —
+  // are expired first so they cannot skew the aggregation (and the table
+  // stays bounded on long runs).
+  const Ipv4 holder = p.token.holder;
+  const core::VmId u = vm_of_addr(holder);
+  const double now = env_->comm().now();
+  const double window = cfg_->measurement_window_s;
+  flows_.evict_idle(now - window);
+  for (const auto& [peer, rate] : env_->hv().datapath_rates(u)) {
+    FlowKey key;
+    key.src_ip = holder;
+    key.dst_ip = addr_of_vm(peer);
+    key.src_port = static_cast<std::uint16_t>(peer & 0xFFFF);
+    key.dst_port = 443;
+    const auto bytes = static_cast<std::uint64_t>(rate * window / 8.0);
+    flows_.update(key, 0, 0, now - window);  // window start marker
+    flows_.update(key, bytes, bytes / 1500 + 1, now);
+  }
+  for (const auto& [peer_ip, rate_Bps] : flows_.peer_rates_Bps(holder, now)) {
+    p.peer_rates.emplace_back(peer_ip, rate_Bps * 8.0);  // back to TM units
+  }
+  // Flows persist "until a migration decision is made for a VM" (§V-B.1).
+  flows_.clear_ip(holder);
+
+  pending_ = std::move(p);
+  if (pending_->peer_rates.empty()) {
+    finish_hold(false, 0.0);
+    return;
+  }
+
+  // §V-B.4: probe every communicating VM for its dom0 location.
+  pending_->stage = kLocations;
+  pending_->retries_left = cfg_->probe_retries;
+  send_location_probes();
+}
+
+/// Send location requests for every peer still missing a response and arm
+/// the stage timeout (first attempt and retransmissions alike).
+void Dom0Agent::send_location_probes() {
+  PendingDecision& p = *pending_;
+  p.awaiting_locations = 0;
+  for (const auto& [peer_ip, rate] : p.peer_rates) {
+    (void)rate;
+    if (p.peer_dom0.count(peer_ip)) continue;  // already answered
+    ++p.awaiting_locations;
+    std::vector<std::uint8_t> payload;
+    put_u32(payload, peer_ip);
+    put_u32(payload, p.nonce);
+    // The fabric routes the probe to the peer VM's current host.
+    env_->comm().send(CtrlMsg::kLocationRequest, host_,
+                      env_->hv().ipam().vm_host(peer_ip), std::move(payload));
+  }
+  arm_probe_timer(kLocations);
+}
+
+/// Send capacity requests for every candidate still missing a response and
+/// arm the stage timeout.
+void Dom0Agent::send_capacity_probes() {
+  PendingDecision& p = *pending_;
+  p.awaiting_capacities = 0;
+  for (Ipv4 dom0 : p.candidates) {
+    if (p.capacities.count(dom0)) continue;  // already answered
+    ++p.awaiting_capacities;
+    std::vector<std::uint8_t> payload;
+    put_u32(payload, p.nonce);
+    env_->comm().send(CtrlMsg::kCapacityRequest, host_,
+                      env_->hv().ipam().host_of_address(dom0),
+                      std::move(payload));
+  }
+  arm_probe_timer(kCapacities);
+}
+
+void Dom0Agent::arm_probe_timer(Stage stage) {
+  env_->comm().arm_probe_timer(host_, cfg_->probe_timeout_s, pending_->nonce,
+                               static_cast<int>(stage));
+}
+
+/// Probe timeout: when responses are lost (or their hosts left), the holder
+/// retransmits the unanswered probes; with the retry budget spent it decides
+/// from the answers it has instead of stalling the whole loop.
+void Dom0Agent::on_probe_timer(std::uint32_t nonce, int stage) {
+  if (env_->stopped() || !pending_ || pending_->nonce != nonce ||
+      static_cast<int>(pending_->stage) != stage) {
+    return;
+  }
+  if (stage == kLocations && pending_->awaiting_locations > 0) {
+    if (pending_->retries_left > 0) {
+      --pending_->retries_left;
+      env_->note_probe_retransmits(pending_->awaiting_locations);
+      send_location_probes();
+      return;
+    }
+    env_->note_probe_timeout();
+    pending_->awaiting_locations = 0;
+    // Peers that never answered are invisible this round: drop them from
+    // the measured set so the Lemma-3 delta only uses confirmed locations.
+    auto& rates = pending_->peer_rates;
+    rates.erase(std::remove_if(rates.begin(), rates.end(),
+                               [this](const std::pair<Ipv4, double>& pr) {
+                                 return pending_->peer_dom0.count(pr.first) == 0;
+                               }),
+                rates.end());
+    on_locations_complete();
+  } else if (stage == kCapacities && pending_->awaiting_capacities > 0) {
+    if (pending_->retries_left > 0) {
+      --pending_->retries_left;
+      env_->note_probe_retransmits(pending_->awaiting_capacities);
+      send_capacity_probes();
+      return;
+    }
+    env_->note_probe_timeout();
+    pending_->awaiting_capacities = 0;
+    on_capacities_complete();
+  }
+}
+
+void Dom0Agent::on_locations_complete() {
+  PendingDecision& p = *pending_;
+  const Ipam& ipam = env_->hv().ipam();
+  const Ipv4 own_dom0 = ipam.host_address(host_);
+
+  if (p.peer_rates.empty()) {  // every location probe timed out
+    finish_hold(false, 0.0);
+    return;
+  }
+
+  // Update the token's communication-level entries (Algorithm 1 lines 1-5):
+  // own entry exactly, peers' entries raised only.
+  int own_level = 0;
+  std::vector<std::tuple<int, double, Ipv4>> ranked;  // (level, rate, dom0)
+  for (const auto& [peer_ip, rate] : p.peer_rates) {
+    const Ipv4 peer_dom0 = p.peer_dom0.at(peer_ip);
+    const int level = ipam.level_between(own_dom0, peer_dom0);
+    own_level = std::max(own_level, level);
+    auto& entry = p.token.entries[index_of(p.token.entries, peer_ip)];
+    entry.level = std::max<std::uint8_t>(entry.level,
+                                         static_cast<std::uint8_t>(level));
+    if (level > 0) ranked.emplace_back(level, rate, peer_dom0);
+  }
+  p.token.entries[index_of(p.token.entries, p.token.holder)].level =
+      static_cast<std::uint8_t>(own_level);
+
+  // §V-B.5: candidate hypervisors ranked from the highest communication
+  // level (heaviest traffic first within a level), plus rack siblings as
+  // fallbacks — mirroring MigrationEngine::candidate_servers.
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) > std::get<0>(b);
+    return std::get<1>(a) > std::get<1>(b);
+  });
+  const auto& topo = env_->hv().topology();
+  const std::size_t hosts_per_rack = topo.num_hosts() / topo.num_racks();
+  auto push_unique = [&p, &ipam, this](Ipv4 dom0) {
+    if (p.candidates.size() >= cfg_->engine.max_candidates) return;
+    if (dom0 == ipam.host_address(host_)) return;
+    if (std::find(p.candidates.begin(), p.candidates.end(), dom0) ==
+        p.candidates.end()) {
+      p.candidates.push_back(dom0);
+    }
+  };
+  for (const auto& [level, rate, dom0] : ranked) {
+    (void)level;
+    (void)rate;
+    push_unique(dom0);
+    if (cfg_->engine.probe_rack_siblings) {
+      const auto rack = static_cast<std::size_t>(ipam.rack_of_address(dom0));
+      for (std::size_t i = 0; i < hosts_per_rack; ++i) {
+        push_unique(ipam.host_address(
+            static_cast<topo::HostId>(rack * hosts_per_rack + i)));
+      }
+    }
+    if (p.candidates.size() >= cfg_->engine.max_candidates) break;
+  }
+
+  if (p.candidates.empty()) {
+    finish_hold(false, 0.0);
+    return;
+  }
+  p.stage = kCapacities;
+  p.retries_left = cfg_->probe_retries;
+  send_capacity_probes();
+}
+
+void Dom0Agent::on_capacities_complete() {
+  PendingDecision& p = *pending_;
+  Hypervisor& hv = env_->hv();
+  const core::VmId u = vm_of_addr(p.token.holder);
+  const core::VmSpec& spec = hv.vm_spec(u);
+  const Ipam& ipam = hv.ipam();
+  const Ipv4 own_dom0 = ipam.host_address(host_);
+  const auto& weights = hv.weights();
+
+  Ipv4 best_dom0 = 0;
+  double best_delta = 0.0;
+  bool have_best = false;
+  for (Ipv4 cand : p.candidates) {
+    const auto cap_it = p.capacities.find(cand);
+    if (cap_it == p.capacities.end()) continue;  // probe lost / host gone
+    const CapInfo& cap = cap_it->second;
+    if (cap.free_slots == 0 || cap.free_ram_mb < spec.ram_mb ||
+        cap.free_cpu < spec.cpu_cores ||
+        cap.free_net_bps < spec.net_bps + cfg_->engine.bandwidth_headroom_bps) {
+      continue;
+    }
+    // Lemma 3, from purely local data: measured λ, probed peer locations.
+    double delta = 0.0;
+    for (const auto& [peer_ip, rate] : p.peer_rates) {
+      const Ipv4 peer_dom0 = p.peer_dom0.at(peer_ip);
+      delta += 2.0 * rate *
+               (weights.prefix(ipam.level_between(peer_dom0, own_dom0)) -
+                weights.prefix(ipam.level_between(peer_dom0, cand)));
+    }
+    if (!have_best || delta > best_delta) {
+      best_dom0 = cand;
+      best_delta = delta;
+      have_best = true;
+    }
+  }
+
+  // Theorem 1, then the migration-cost budget: a win that would overrun the
+  // remaining pre-copy byte budget is rejected (strictly cost-reducing moves
+  // only, and only as many as the operator priced in).
+  if (have_best && best_delta > cfg_->engine.migration_cost) {
+    // The capacity response may be stale by commit time (the target left, or
+    // a churn drain consumed its last slot while we waited on other probes):
+    // in that case the live-migration handshake with the target hypervisor
+    // fails and the hold ends without a move.
+    const topo::HostId target = ipam.host_of_address(best_dom0);
+    if (!hv.host_up(target) || !hv.can_host(target, spec)) {
+      finish_hold(false, 0.0);
+      return;
+    }
+    MigrationOutcome outcome;
+    if (hv.migrate(u, target, &outcome) !=
+        Hypervisor::MigrateStatus::kCommitted) {
+      finish_hold(false, 0.0);
+      return;
+    }
+    ++p.token.epoch;  // allocation epoch advances with every commit
+    p.token.aggregate_delta += best_delta;
+    finish_hold(true, outcome.total_time_s);
+  } else {
+    finish_hold(false, 0.0);
+  }
+}
+
+void Dom0Agent::finish_hold(bool migrated, double migration_time_s) {
+  PendingDecision& p = *pending_;
+  Hypervisor& hv = env_->hv();
+  const Ipam& ipam = hv.ipam();
+  const double busy = cfg_->decision_time_s + migration_time_s;
+  ++p.token.ring_pos;
+
+  // Token telemetry: the last completed hold's view is the final one.
+  env_->token_telemetry(p.token.epoch, p.token.ring_pos,
+                        p.token.aggregate_delta);
+
+  bool run_on = env_->hold_complete(migrated);
+  Ipv4 next = p.token.holder;
+  if (run_on) {
+    // Forward past VMs stranded on departed hosts (drain failures): each
+    // skipped VM's hold completes trivially at the forwarding agent.
+    for (std::size_t i = 0; run_on && i <= p.token.entries.size(); ++i) {
+      next = cfg_->use_hlf ? next_highest_level_first(p.token.entries, next)
+                           : next_round_robin(p.token.entries, next);
+      if (hv.host_up(ipam.vm_host(next))) break;
+      ++p.token.ring_pos;
+      env_->token_telemetry(p.token.epoch, p.token.ring_pos,
+                            p.token.aggregate_delta);
+      run_on = env_->hold_complete(false);
+    }
+  }
+  if (!run_on) {
+    pending_.reset();
+    return;
+  }
+  if (!hv.host_up(ipam.vm_host(next))) {
+    // Every remaining entry is stranded on departed hosts: no reachable
+    // holder exists, so the run cannot make further progress.
+    env_->stop_run();
+    pending_.reset();
+    return;
+  }
+
+  p.token.holder = next;
+  auto payload = encode_token(p.token);
+  const topo::HostId next_host = ipam.vm_host(next);
+  // The token leaves after the dom0 work (and any migration) completes.
+  env_->comm().send_after(busy, CtrlMsg::kToken, host_, next_host,
+                          std::move(payload));
+  pending_.reset();
+}
+
+void LocalAgentExecutor::start(RuntimeCore& core) {
+  agents_.assign(core.sim_hypervisor().topology().num_hosts(), Dom0Agent{});
+  for (topo::HostId h = 0; h < agents_.size(); ++h) {
+    agents_[h].bind(&core.env(), &core.agent_config(), h);
+  }
+}
+
+}  // namespace score::hypervisor

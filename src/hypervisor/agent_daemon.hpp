@@ -1,0 +1,53 @@
+// AgentDaemon — the score_agent process core: a range of Dom0Agents running
+// over a full *replica* of the world, speaking the framed task protocol
+// (task_codec) to a scheduler.
+//
+// The daemon builds its world independently (same CLI flags as the
+// scheduler; the kHello/kInit fingerprint handshake proves both sides built
+// the same one), then serves tasks: the scheduler round-trips every fabric
+// delivery and probe-timer firing destined for an owned host, and the daemon
+// answers with the ordered actions its agent took. Side effects never act
+// directly — the RecordingEnv inside captures sends, timer arms, holds,
+// migrations and probe statistics as TaskActions while applying the
+// state-mutating subset to the local replica (SimHypervisor + RunControl),
+// so the next decision sees the world the in-process agent would have seen.
+// kApply frames carry the actions *other* agents took, keeping the replica
+// in lock-step between tasks.
+//
+// A mismatch anywhere — fingerprints, an apply action that does not commit
+// on the replica, a task for a host outside the owned range — throws; the
+// daemon process exits non-zero rather than silently diverging.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "hypervisor/distributed_runtime.hpp"
+#include "util/socket.hpp"
+
+namespace score::hypervisor {
+
+class AgentDaemon {
+ public:
+  /// `alloc` is the daemon's replica allocation, mutated as migrations are
+  /// committed (its own and, via kApply, every other agent's). `config` must
+  /// be built from the same flags as the scheduler's.
+  AgentDaemon(const core::CostModel& model, core::Allocation& alloc,
+              const traffic::TrafficMatrix& tm, const RuntimeConfig& config);
+  ~AgentDaemon();
+
+  AgentDaemon(const AgentDaemon&) = delete;
+  AgentDaemon& operator=(const AgentDaemon&) = delete;
+
+  /// Serve one full run over a connected scheduler socket: send kHello, obey
+  /// kInit, then execute tasks until kShutdown (answered with kFinal).
+  /// Returns the number of kDeliver/kTimer tasks executed. Throws on
+  /// protocol violations or replica divergence.
+  std::size_t serve(util::Socket& socket);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace score::hypervisor

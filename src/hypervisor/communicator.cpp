@@ -1,0 +1,60 @@
+#include "hypervisor/communicator.hpp"
+
+#include <utility>
+
+namespace score::hypervisor {
+
+SimCommunicator::SimCommunicator(
+    sim::EventQueue& queue, sim::Network& net, bool keep_token_snapshot,
+    std::function<bool()> stopped,
+    std::function<void(topo::HostId, std::uint32_t, int)> probe_timer_sink)
+    : queue_(&queue),
+      net_(&net),
+      keep_token_snapshot_(keep_token_snapshot),
+      stopped_(std::move(stopped)),
+      probe_timer_sink_(std::move(probe_timer_sink)) {}
+
+void SimCommunicator::send(CtrlMsg type, topo::HostId from, topo::HostId to,
+                           std::vector<std::uint8_t> payload) {
+  ++sends_;
+  if (type == CtrlMsg::kToken) {
+    // Placement-manager bookkeeping for retransmission recovery — the
+    // O(|V|) snapshot copy is only taken when a watchdog exists to read
+    // it (fault-free runs skip ~token_bytes of dead memcpy).
+    if (keep_token_snapshot_) last_token_payload_ = payload;
+    ++token_messages;
+    token_bytes += payload.size();
+  }
+  switch (type) {
+    case CtrlMsg::kToken: break;
+    case CtrlMsg::kLocationRequest:
+    case CtrlMsg::kLocationResponse: ++location_messages; break;
+    case CtrlMsg::kCapacityRequest:
+    case CtrlMsg::kCapacityResponse: ++capacity_messages; break;
+  }
+  control_bytes += payload.size();
+  net_->send(sim::Message{from, to, static_cast<int>(type), std::move(payload)});
+}
+
+void SimCommunicator::send_after(double delay, CtrlMsg type, topo::HostId from,
+                                 topo::HostId to,
+                                 std::vector<std::uint8_t> payload) {
+  // The watchdog sees the scheduled send and does not mistake the busy
+  // period (decision + migration transfer) for a lost token.
+  ++scheduled_token_sends_;
+  queue_->schedule_in(delay, [this, type, from, to,
+                              buf = std::move(payload)]() mutable {
+    --scheduled_token_sends_;
+    if (stopped_()) return;
+    send(type, from, to, std::move(buf));
+  });
+}
+
+void SimCommunicator::arm_probe_timer(topo::HostId host, double delay,
+                                      std::uint32_t nonce, int stage) {
+  queue_->schedule_in(delay, [this, host, nonce, stage] {
+    probe_timer_sink_(host, nonce, stage);
+  });
+}
+
+}  // namespace score::hypervisor

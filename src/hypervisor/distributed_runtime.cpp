@@ -1,215 +1,108 @@
 #include "hypervisor/distributed_runtime.hpp"
 
-#include <algorithm>
 #include <bit>
-#include <optional>
 #include <stdexcept>
-#include <tuple>
-#include <unordered_map>
+#include <utility>
 
+#include "hypervisor/agent.hpp"
+#include "hypervisor/hypervisor.hpp"
 #include "hypervisor/token_codec.hpp"
-#include "util/rng.hpp"
+#include "hypervisor/wire.hpp"
+#include "sim/event_queue.hpp"
 
 namespace score::hypervisor {
 
 namespace {
 
-// ---- wire helpers for the probe payloads ------------------------------------
-
-void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
-  buf.push_back(static_cast<std::uint8_t>(v));
-  buf.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf.push_back(static_cast<std::uint8_t>(v >> 16));
-  buf.push_back(static_cast<std::uint8_t>(v >> 24));
-}
-
-std::uint32_t get_u32(const std::vector<std::uint8_t>& buf, std::size_t pos) {
-  return static_cast<std::uint32_t>(buf[pos]) |
-         (static_cast<std::uint32_t>(buf[pos + 1]) << 8) |
-         (static_cast<std::uint32_t>(buf[pos + 2]) << 16) |
-         (static_cast<std::uint32_t>(buf[pos + 3]) << 24);
-}
-
-std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-  h ^= v;
-  h *= 1099511628211ull;
-  return h;
-}
-
-std::uint64_t fnv1a_bytes(const std::vector<std::uint8_t>& bytes) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (const std::uint8_t b : bytes) h = fnv1a(h, b);
-  return h;
-}
-
-// ---- token policies over pure token state -----------------------------------
-
-std::size_t index_of(const std::vector<TokenWireEntry>& entries, Ipv4 vm) {
-  const auto it = std::lower_bound(
-      entries.begin(), entries.end(), vm,
-      [](const TokenWireEntry& e, Ipv4 v) { return e.vm_id < v; });
-  if (it == entries.end() || it->vm_id != vm) {
-    throw std::logic_error("token does not contain the holder VM");
+RuntimeConfig validated(RuntimeConfig cfg, const core::CostModel& model,
+                        const core::Allocation& alloc,
+                        const traffic::TrafficMatrix& tm) {
+  if (alloc.num_vms() != tm.num_vms()) {
+    throw std::invalid_argument("DistributedScoreRuntime: alloc/TM mismatch");
   }
-  return static_cast<std::size_t>(it - entries.begin());
-}
-
-Ipv4 next_round_robin(const std::vector<TokenWireEntry>& entries, Ipv4 holder) {
-  const std::size_t i = index_of(entries, holder);
-  return entries[(i + 1) % entries.size()].vm_id;
-}
-
-/// Algorithm 1 with the per-round checked bits carried in the token.
-Ipv4 next_highest_level_first(std::vector<TokenWireEntry>& entries, Ipv4 holder) {
-  const std::size_t n = entries.size();
-  const std::size_t h = index_of(entries, holder);
-  entries[h].checked = true;
-  if (n == 1) return holder;
-
-  const bool all_checked =
-      std::all_of(entries.begin(), entries.end(),
-                  [](const TokenWireEntry& e) { return e.checked; });
-  if (!all_checked) {
-    for (int cl = entries[h].level; cl >= 0; --cl) {
-      for (std::size_t step = 1; step < n; ++step) {
-        const TokenWireEntry& z = entries[(h + step) % n];
-        if (!z.checked && z.level == cl) return z.vm_id;
-      }
+  if (cfg.policy != "highest-level-first" && cfg.policy != "hlf" &&
+      cfg.policy != "round-robin" && cfg.policy != "rr") {
+    throw std::invalid_argument("DistributedScoreRuntime: unknown policy '" +
+                                cfg.policy + "'");
+  }
+  for (const ChurnEvent& ev : cfg.churn) {
+    if (ev.host >= model.topology().num_hosts()) {
+      throw std::invalid_argument(
+          "DistributedScoreRuntime: churn host out of range");
     }
-    // Unchecked VMs remain only above the holder's level.
-    const TokenWireEntry* best = nullptr;
-    for (const TokenWireEntry& e : entries) {
-      if (!e.checked && (best == nullptr || e.level > best->level)) best = &e;
+    if (ev.time_s < 0.0) {
+      throw std::invalid_argument("DistributedScoreRuntime: churn time negative");
     }
-    if (best != nullptr) return best->vm_id;
   }
-
-  // New round: clear checked, restart from the lowest-id max-level VM.
-  for (TokenWireEntry& e : entries) e.checked = false;
-  std::uint8_t max_level = 0;
-  for (const TokenWireEntry& e : entries) max_level = std::max(max_level, e.level);
-  for (const TokenWireEntry& e : entries) {
-    if (e.level == max_level && e.vm_id != holder) return e.vm_id;
-  }
-  return entries[(h + 1) % n].vm_id;
+  return cfg;
 }
 
 }  // namespace
 
+SimHypervisorConfig sim_hypervisor_config_of(const RuntimeConfig& cfg) {
+  SimHypervisorConfig hc;
+  hc.migration_model = cfg.migration_model;
+  hc.background_load = cfg.background_load;
+  hc.migration_seed = cfg.migration_seed;
+  hc.migration_budget_mb = cfg.migration_budget_mb;
+  return hc;
+}
+
+AgentConfig agent_config_of(const RuntimeConfig& cfg) {
+  AgentConfig ac;
+  ac.engine = cfg.engine;
+  ac.use_hlf = cfg.policy == "highest-level-first" || cfg.policy == "hlf";
+  ac.measurement_window_s = cfg.measurement_window_s;
+  ac.decision_time_s = cfg.decision_time_s;
+  ac.probe_timeout_s = cfg.probe_timeout_s;
+  ac.probe_retries = cfg.probe_retries;
+  return ac;
+}
+
 // ---- runtime ----------------------------------------------------------------
 
-struct DistributedScoreRuntime::Impl {
-  const core::CostModel* model;
-  core::Allocation* alloc;
-  const traffic::TrafficMatrix* tm;
+struct DistributedScoreRuntime::Impl final : AgentEnv, RuntimeCore {
   RuntimeConfig cfg;
-
+  AgentConfig agent_cfg;
   sim::EventQueue queue;
-  Ipam ipam;
   std::unique_ptr<sim::Network> net;
-  util::Rng migration_rng;
+  SimHypervisor hvisor;
+  RunControl run_ctl;
+  std::unique_ptr<SimCommunicator> communicator;
+  LocalAgentExecutor local_executor;
+  AgentExecutor* executor;
 
   RuntimeResult result;
-  std::size_t iter_holds = 0;
-  std::size_t iter_migrations = 0;
-  bool stopped = false;
-  bool use_hlf = false;
-  std::vector<bool> host_up;
 
-  // Watchdog state (placement-manager role): last token wire snapshot plus
-  // activity counters compared between retransmission-timeout ticks. The
-  // token is declared lost — and re-injected — only on true quiescence:
-  // no hold completed, no control message moved (probe retransmissions are
-  // progress), and no token send is waiting out a migration transfer.
-  std::vector<std::uint8_t> last_token_payload;
-  std::uint64_t total_holds = 0;
+  // Watchdog state (placement-manager role): activity counters compared
+  // between retransmission-timeout ticks; the last token snapshot lives in
+  // the communicator. The token is declared lost — and re-injected — only on
+  // true quiescence: no hold completed, no control message moved (probe
+  // retransmissions are progress), and no token send is waiting out a
+  // migration transfer.
   std::uint64_t holds_at_last_check = 0;
-  std::uint64_t sends = 0;
   std::uint64_t sends_at_last_check = 0;
-  std::size_t scheduled_token_sends = 0;
-
-  // ---- per-host dom0 agent ---------------------------------------------------
-  struct Agent {
-    Impl* rt = nullptr;
-    topo::HostId host = 0;
-    FlowTable flows;
-
-    struct CapInfo {
-      std::size_t free_slots = 0;
-      double free_ram_mb = 0.0;
-      double free_cpu = 0.0;
-      double free_net_bps = 0.0;
-    };
-
-    /// Probe stages of one decision; each stage arms its own timeout.
-    enum Stage { kLocations = 0, kCapacities = 1 };
-
-    struct PendingDecision {
-      Token token;              ///< the decoded frame being held
-      std::uint32_t nonce = 0;  ///< discriminates probe responses across
-                                ///< restarted decision attempts (watchdog)
-      Stage stage = kLocations;
-      std::size_t retries_left = 0;  ///< probe retransmissions, current stage
-      /// Measured per-peer traffic loads λ(z,u) (TM rate units).
-      std::vector<std::pair<Ipv4, double>> peer_rates;
-      std::unordered_map<Ipv4, Ipv4> peer_dom0;  ///< peer VM -> its dom0 addr
-      std::size_t awaiting_locations = 0;
-      std::vector<Ipv4> candidates;  ///< candidate dom0 addresses, probe order
-      std::unordered_map<Ipv4, CapInfo> capacities;
-      std::size_t awaiting_capacities = 0;
-    };
-    std::optional<PendingDecision> pending;
-    std::uint32_t next_nonce = 1;
-
-    void on_message(const sim::Message& msg);
-    void on_token(const sim::Message& msg);
-    void send_location_probes();
-    void send_capacity_probes();
-    void arm_probe_timer(Stage stage);
-    void on_locations_complete();
-    void on_capacities_complete();
-    void finish_hold(bool migrated, double migration_time_s);
-  };
-  std::vector<Agent> agents;
 
   Impl(const core::CostModel& m, core::Allocation& a,
-       const traffic::TrafficMatrix& t, RuntimeConfig c)
-      : model(&m),
-        alloc(&a),
-        tm(&t),
-        cfg(std::move(c)),
-        ipam(m.topology()),
-        migration_rng(cfg.migration_seed) {
-    if (alloc->num_vms() != tm->num_vms()) {
-      throw std::invalid_argument("DistributedScoreRuntime: alloc/TM mismatch");
-    }
-    if (cfg.policy == "highest-level-first" || cfg.policy == "hlf") {
-      use_hlf = true;
-    } else if (cfg.policy != "round-robin" && cfg.policy != "rr") {
-      throw std::invalid_argument("DistributedScoreRuntime: unknown policy '" +
-                                  cfg.policy + "'");
-    }
-    for (const ChurnEvent& ev : cfg.churn) {
-      if (ev.host >= model->topology().num_hosts()) {
-        throw std::invalid_argument("DistributedScoreRuntime: churn host out of range");
-      }
-      if (ev.time_s < 0.0) {
-        throw std::invalid_argument("DistributedScoreRuntime: churn time negative");
-      }
-    }
-    net = std::make_unique<sim::Network>(queue, model->topology(),
-                                         cfg.per_hop_latency_s,
-                                         cfg.loopback_latency_s);
-    for (core::VmId vm = 0; vm < alloc->num_vms(); ++vm) {
-      ipam.allocate_vm(alloc->server_of(vm));
-    }
-    host_up.assign(model->topology().num_hosts(), true);
-    agents.resize(model->topology().num_hosts());
-    for (topo::HostId h = 0; h < agents.size(); ++h) {
-      agents[h].rt = this;
-      agents[h].host = h;
-      net->attach(h, [this, h](const sim::Message& msg) {
-        agents[h].on_message(msg);
+       const traffic::TrafficMatrix& t, RuntimeConfig c,
+       AgentExecutor* custom_executor)
+      : cfg(validated(std::move(c), m, a, t)),
+        agent_cfg(agent_config_of(cfg)),
+        net(std::make_unique<sim::Network>(queue, m.topology(),
+                                           cfg.per_hop_latency_s,
+                                           cfg.loopback_latency_s)),
+        hvisor(m, a, t, sim_hypervisor_config_of(cfg)),
+        run_ctl(m, a, t, cfg.iterations, cfg.stop_when_stable),
+        executor(custom_executor != nullptr ? custom_executor
+                                            : &local_executor) {
+    communicator = std::make_unique<SimCommunicator>(
+        queue, *net, watchdog_armed(), [this] { return run_ctl.stopped(); },
+        [this](topo::HostId h, std::uint32_t nonce, int stage) {
+          executor->fire_probe_timer(h, nonce, stage);
+        });
+    for (topo::HostId h = 0; h < m.topology().num_hosts(); ++h) {
+      net->attach(h, [this](const sim::Message& msg) {
+        executor->deliver(msg);
       });
     }
     // Determinism seam: fold every send (including dropped ones) into the
@@ -226,117 +119,66 @@ struct DistributedScoreRuntime::Impl {
       entry.src = msg.src;
       entry.dst = msg.dst;
       entry.bytes = static_cast<std::uint32_t>(msg.payload.size());
-      entry.payload_hash = cfg.record_trace ? fnv1a_bytes(msg.payload) : 0;
+      entry.payload_hash = cfg.record_trace ? wire::fnv1a_bytes(msg.payload) : 0;
       entry.lost = lost;
       std::uint64_t h = result.trace_hash == 0 ? 1469598103934665603ull
                                                : result.trace_hash;
-      h = fnv1a(h, std::bit_cast<std::uint64_t>(entry.time_s));
-      h = fnv1a(h, entry.type);
-      h = fnv1a(h, (static_cast<std::uint64_t>(entry.src) << 32) | entry.dst);
-      h = fnv1a(h, entry.bytes);
-      h = fnv1a(h, entry.payload_hash);
-      h = fnv1a(h, entry.lost ? 1 : 0);
+      h = wire::fnv1a(h, std::bit_cast<std::uint64_t>(entry.time_s));
+      h = wire::fnv1a(h, entry.type);
+      h = wire::fnv1a(h, (static_cast<std::uint64_t>(entry.src) << 32) | entry.dst);
+      h = wire::fnv1a(h, entry.bytes);
+      h = wire::fnv1a(h, entry.payload_hash);
+      h = wire::fnv1a(h, entry.lost ? 1 : 0);
       result.trace_hash = h;
       if (cfg.record_trace) result.trace.push_back(entry);
     });
   }
 
-  core::VmId vm_id(Ipv4 addr) const {
-    return static_cast<core::VmId>(addr - Ipam::kVmBase);
-  }
-  Ipv4 vm_addr(core::VmId id) const { return Ipam::kVmBase + id; }
-
   bool watchdog_armed() const {
     return cfg.message_loss_rate > 0.0 || !cfg.churn.empty();
   }
 
-  void send(CtrlMsg type, topo::HostId from, topo::HostId to,
-            std::vector<std::uint8_t> payload) {
-    ++sends;
-    if (type == CtrlMsg::kToken) {
-      // Placement-manager bookkeeping for retransmission recovery — the
-      // O(|V|) snapshot copy is only taken when a watchdog exists to read
-      // it (fault-free runs skip ~token_bytes of dead memcpy).
-      if (watchdog_armed()) last_token_payload = payload;
-      ++result.token_messages;
-      result.token_bytes += payload.size();
-    }
-    switch (type) {
-      case CtrlMsg::kToken: break;
-      case CtrlMsg::kLocationRequest:
-      case CtrlMsg::kLocationResponse: ++result.location_messages; break;
-      case CtrlMsg::kCapacityRequest:
-      case CtrlMsg::kCapacityResponse: ++result.capacity_messages; break;
-    }
-    result.control_bytes += payload.size();
-    net->send(sim::Message{from, to, static_cast<int>(type), std::move(payload)});
+  // ---- AgentEnv (the world as the in-process agents see it) -----------------
+  Hypervisor& hv() override { return hvisor; }
+  Communicator& comm() override { return *communicator; }
+  bool stopped() const override { return run_ctl.stopped(); }
+  bool hold_complete(bool migrated) override {
+    return run_ctl.hold_complete(migrated, queue.now());
   }
+  void stop_run() override { run_ctl.stop(queue.now()); }
+  void token_telemetry(std::uint32_t epoch, std::uint32_t ring_pos,
+                       double aggregate_delta) override {
+    result.final_epoch = epoch;
+    result.final_ring_pos = ring_pos;
+    result.aggregate_delta = aggregate_delta;
+  }
+  void note_probe_retransmits(std::size_t count) override {
+    result.probe_retransmits += count;
+  }
+  void note_probe_timeout() override { ++result.probe_timeouts; }
 
-  /// Called by the holding agent when its token hold finished (decision made,
-  /// migration applied if any). Returns false when the run is over and the
-  /// token must not be forwarded.
-  bool hold_complete(bool migrated) {
-    ++total_holds;
-    ++iter_holds;
-    if (migrated) {
-      ++iter_migrations;
-      ++result.total_migrations;
-    }
-    if (iter_holds == tm->num_vms()) {
-      RuntimeIteration it;
-      it.holds = iter_holds;
-      it.migrations = iter_migrations;
-      it.migrated_ratio =
-          static_cast<double>(iter_migrations) / static_cast<double>(iter_holds);
-      it.cost_at_end = model->total_cost(*alloc, *tm);
-      result.iterations.push_back(it);
-      const bool stable = cfg.stop_when_stable && iter_migrations == 0;
-      iter_holds = 0;
-      iter_migrations = 0;
-      if (result.iterations.size() >= cfg.iterations || stable) {
-        stop_run();
-        return false;
-      }
-    }
-    return true;
-  }
-
-  void stop_run() {
-    if (stopped) return;
-    stopped = true;
-    result.duration_s = queue.now();
-  }
-
-  /// Pre-copy transfer for one VM: the config's model rescaled to the VM's
-  /// RAM (working set and stop-and-copy threshold scale proportionally).
-  MigrationOutcome simulate_migration(const core::VmSpec& spec) {
-    MigrationModelConfig mc = cfg.migration_model;
-    const double scale =
-        spec.ram_mb > 0.0 && mc.vm_ram_mb > 0.0 ? spec.ram_mb / mc.vm_ram_mb : 1.0;
-    mc.vm_ram_mb = spec.ram_mb;
-    mc.working_set_mean_mb *= scale;
-    mc.working_set_std_mb *= scale;
-    mc.stop_copy_threshold_mb *= scale;
-    const PreCopyMigrationModel precopy(mc);
-    return precopy.simulate(migration_rng, cfg.background_load);
-  }
+  // ---- RuntimeCore (what the executor may reach) ----------------------------
+  AgentEnv& env() override { return *this; }
+  const AgentConfig& agent_config() const override { return agent_cfg; }
+  SimHypervisor& sim_hypervisor() override { return hvisor; }
+  const RunControl& run_control() const override { return run_ctl; }
 
   // ---- failure recovery ------------------------------------------------------
 
   void watchdog_tick() {
-    if (stopped) return;
-    const bool quiescent = total_holds == holds_at_last_check &&
-                           sends == sends_at_last_check &&
-                           scheduled_token_sends == 0;
-    if (quiescent && !last_token_payload.empty()) {
+    if (run_ctl.stopped()) return;
+    const bool quiescent = run_ctl.total_holds() == holds_at_last_check &&
+                           communicator->sends() == sends_at_last_check &&
+                           communicator->scheduled_token_sends() == 0;
+    if (quiescent && !communicator->last_token_payload().empty()) {
       // Nothing moved for a whole tick: the token was lost in flight (or its
       // destination host left). Re-inject the last snapshot at the holder
       // VM's *current* host; the receiving agent restarts its decision
       // idempotently. A hold still retransmitting probes or waiting out a
       // migration transfer is progress, not loss — it is left alone.
-      Token tok = decode_token(last_token_payload);
-      topo::HostId dst = ipam.vm_host(tok.holder);
-      if (!host_up[dst]) {
+      Token tok = decode_token(communicator->last_token_payload());
+      topo::HostId dst = hvisor.ipam().vm_host(tok.holder);
+      if (!hvisor.host_up(dst)) {
         // The holder VM is stranded on a departed host (its drain found no
         // feasible target). Hand the token to the next reachable entry in
         // id order — the placement manager's recovery need not follow the
@@ -347,75 +189,50 @@ struct DistributedScoreRuntime::Impl {
         bool found = false;
         for (std::size_t step = 1; step <= n && !found; ++step) {
           const Ipv4 vm = tok.entries[(start + step) % n].vm_id;
-          const topo::HostId h = ipam.vm_host(vm);
-          if (host_up[h]) {
+          const topo::HostId h = hvisor.ipam().vm_host(vm);
+          if (hvisor.host_up(h)) {
             tok.holder = vm;
             dst = h;
             found = true;
           }
         }
         if (!found) {
-          stop_run();
+          run_ctl.stop(queue.now());
           return;
         }
-        last_token_payload = encode_token(tok);
+        communicator->set_last_token_payload(encode_token(tok));
       }
       ++result.token_reinjections;
-      send(CtrlMsg::kToken, dst, dst, last_token_payload);
+      communicator->send(CtrlMsg::kToken, dst, dst,
+                         communicator->last_token_payload());
     }
-    holds_at_last_check = total_holds;
-    sends_at_last_check = sends;
+    holds_at_last_check = run_ctl.total_holds();
+    sends_at_last_check = communicator->sends();
     queue.schedule_in(cfg.retransmit_timeout_s, [this] { watchdog_tick(); });
   }
 
   // ---- host churn (placement-manager role) -----------------------------------
 
   void host_leave(topo::HostId h) {
-    if (stopped || !host_up[h]) return;
-    host_up[h] = false;
+    if (run_ctl.stopped() || !hvisor.host_up(h)) return;
+    hvisor.set_host_up(h, false);
     net->detach(h);
-    agents[h].pending.reset();
-    agents[h].flows.clear();
-    // Drain: live-migrate every hosted VM to the feasible up host with the
-    // best Lemma-3 delta (traffic-aware evacuation). VMs with no feasible
-    // target stay put — the forwarding path skips unreachable holders.
-    const std::vector<core::VmId> victims = alloc->vms_on(h);
-    for (const core::VmId vm : victims) {
-      const core::VmSpec& spec = alloc->spec(vm);
-      core::ServerId best = core::kInvalidServer;
-      double best_delta = 0.0;
-      for (core::ServerId s = 0; s < alloc->num_servers(); ++s) {
-        if (s == h || !host_up[s] || !alloc->can_host(s, spec)) continue;
-        const double delta = model->migration_delta(*alloc, *tm, vm, s);
-        if (best == core::kInvalidServer || delta > best_delta) {
-          best = s;
-          best_delta = delta;
-        }
-      }
-      if (best == core::kInvalidServer) continue;
-      // Drain transfers ride the same pre-copy model as token-driven
-      // migrations and count toward migrated_mb/migration_time_s. They are
-      // *not* budget-gated: evacuating a departing host is mandatory, the
-      // budget prices optional optimization moves only.
-      const MigrationOutcome outcome = simulate_migration(spec);
-      result.migrated_mb += outcome.migrated_mb;
-      result.migration_time_s += outcome.total_time_s;
-      model->apply_migration(*alloc, *tm, vm, best);
-      ipam.move_vm(vm_addr(vm), best);
-      ++result.evacuations;
-    }
+    executor->host_left(h);
+    drain_host(hvisor, h);
   }
 
   void host_join(topo::HostId h) {
-    if (host_up[h]) return;
-    host_up[h] = true;
-    net->attach(h, [this, h](const sim::Message& msg) {
-      agents[h].on_message(msg);
+    if (hvisor.host_up(h)) return;
+    hvisor.set_host_up(h, true);
+    net->attach(h, [this](const sim::Message& msg) {
+      executor->deliver(msg);
     });
+    executor->host_joined(h);
   }
 
   RuntimeResult run() {
-    result.initial_cost = model->total_cost(*alloc, *tm);
+    executor->start(*this);
+    result.initial_cost = hvisor.model().total_cost(hvisor.alloc(), hvisor.tm());
     if (cfg.message_loss_rate > 0.0) {
       net->set_loss(cfg.message_loss_rate, cfg.loss_seed);
     }
@@ -434,412 +251,36 @@ struct DistributedScoreRuntime::Impl {
     // The placement manager injects the token at the lowest-id VM with all
     // levels initialised to zero (§V-A), epoch 0, ring position 0.
     Token token;
-    token.policy = use_hlf ? TokenPolicyId::kHighestLevelFirst
-                           : TokenPolicyId::kRoundRobin;
-    token.holder = vm_addr(0);
-    token.entries.resize(tm->num_vms());
-    for (core::VmId id = 0; id < tm->num_vms(); ++id) {
-      token.entries[id].vm_id = vm_addr(id);
+    token.policy = agent_cfg.use_hlf ? TokenPolicyId::kHighestLevelFirst
+                                     : TokenPolicyId::kRoundRobin;
+    token.holder = addr_of_vm(0);
+    token.entries.resize(hvisor.tm().num_vms());
+    for (core::VmId id = 0; id < hvisor.tm().num_vms(); ++id) {
+      token.entries[id].vm_id = addr_of_vm(id);
     }
-    const topo::HostId first_host = ipam.vm_host(token.holder);
-    send(CtrlMsg::kToken, first_host, first_host, encode_token(token));
+    const topo::HostId first_host = hvisor.ipam().vm_host(token.holder);
+    communicator->send(CtrlMsg::kToken, first_host, first_host,
+                       encode_token(token));
     queue.run();
-    if (!stopped) result.duration_s = queue.now();
-    result.final_cost = model->total_cost(*alloc, *tm);
+    executor->finish();
+
+    result.duration_s = run_ctl.stopped() ? run_ctl.duration_s() : queue.now();
+    result.final_cost = hvisor.model().total_cost(hvisor.alloc(), hvisor.tm());
+    result.total_migrations = run_ctl.total_migrations();
+    result.iterations = run_ctl.iterations();
+    result.token_messages = communicator->token_messages;
+    result.token_bytes = communicator->token_bytes;
+    result.location_messages = communicator->location_messages;
+    result.capacity_messages = communicator->capacity_messages;
+    result.control_bytes = communicator->control_bytes;
     result.messages_lost = net->messages_lost();
+    result.migrated_mb = hvisor.migrated_mb();
+    result.migration_time_s = hvisor.migration_time_s();
+    result.budget_rejected = hvisor.budget_rejected();
+    result.evacuations = hvisor.evacuations();
     return result;
   }
 };
-
-// ---- agent implementation ----------------------------------------------------
-
-void DistributedScoreRuntime::Impl::Agent::on_message(const sim::Message& msg) {
-  switch (static_cast<CtrlMsg>(msg.type)) {
-    case CtrlMsg::kToken: {
-      on_token(msg);
-      return;
-    }
-    case CtrlMsg::kLocationRequest: {
-      // A peer's dom0 asks where we are: answer with subject VM + our address
-      // (the NAT redirect delivers the probe to dom0, which replies, §V-B.4).
-      std::vector<std::uint8_t> payload;
-      put_u32(payload, get_u32(msg.payload, 0));            // subject VM
-      put_u32(payload, rt->ipam.host_address(host));        // our dom0 addr
-      put_u32(payload, get_u32(msg.payload, 4));            // echo nonce
-      rt->send(CtrlMsg::kLocationResponse, host, msg.src, std::move(payload));
-      return;
-    }
-    case CtrlMsg::kLocationResponse: {
-      if (!pending || pending->stage != kLocations ||
-          pending->awaiting_locations == 0) {
-        return;
-      }
-      if (get_u32(msg.payload, 8) != pending->nonce) return;  // stale attempt
-      const Ipv4 subject = get_u32(msg.payload, 0);
-      const Ipv4 dom0 = get_u32(msg.payload, 4);
-      if (pending->peer_dom0.count(subject)) return;  // duplicate
-      pending->peer_dom0[subject] = dom0;
-      if (--pending->awaiting_locations == 0) on_locations_complete();
-      return;
-    }
-    case CtrlMsg::kCapacityRequest: {
-      // Report residual capacity (free slots + available RAM, extended with
-      // CPU and NIC bandwidth, §V-B.5) for our server.
-      std::vector<std::uint8_t> payload;
-      put_u32(payload, get_u32(msg.payload, 0));      // echo nonce
-      put_u32(payload, rt->ipam.host_address(host));  // echo: who is answering
-      put_u32(payload, static_cast<std::uint32_t>(rt->alloc->free_slots(host)));
-      put_u32(payload, static_cast<std::uint32_t>(rt->alloc->free_ram_mb(host)));
-      const double free_cpu = rt->alloc->capacity(host).cpu_cores -
-                              rt->alloc->used_cpu(host);
-      put_u32(payload, static_cast<std::uint32_t>(free_cpu * 1000.0));
-      const double free_net = rt->alloc->capacity(host).net_bps -
-                              rt->alloc->used_net_bps(host);
-      put_u32(payload, static_cast<std::uint32_t>(free_net / 1000.0));  // kbps
-      rt->send(CtrlMsg::kCapacityResponse, host, msg.src, std::move(payload));
-      return;
-    }
-    case CtrlMsg::kCapacityResponse: {
-      if (!pending || pending->stage != kCapacities ||
-          pending->awaiting_capacities == 0) {
-        return;
-      }
-      if (get_u32(msg.payload, 0) != pending->nonce) return;  // stale attempt
-      const Ipv4 who = get_u32(msg.payload, 4);
-      if (pending->capacities.count(who)) return;  // duplicate
-      CapInfo info;
-      info.free_slots = get_u32(msg.payload, 8);
-      info.free_ram_mb = get_u32(msg.payload, 12);
-      info.free_cpu = get_u32(msg.payload, 16) / 1000.0;
-      info.free_net_bps = get_u32(msg.payload, 20) * 1000.0;
-      pending->capacities[who] = info;
-      if (--pending->awaiting_capacities == 0) on_capacities_complete();
-      return;
-    }
-  }
-}
-
-void DistributedScoreRuntime::Impl::Agent::on_token(const sim::Message& msg) {
-  if (rt->stopped) return;
-  Token token = decode_token(msg.payload);
-
-  // A token can land on a stale host when the holder VM was drained while the
-  // token was in flight (churn): the NAT redirect forwards it to the VM's
-  // current hypervisor.
-  const topo::HostId holder_host = rt->ipam.vm_host(token.holder);
-  if (holder_host != host) {
-    rt->send(CtrlMsg::kToken, host, holder_host,
-             std::vector<std::uint8_t>(msg.payload));
-    return;
-  }
-
-  PendingDecision p;
-  p.token = std::move(token);
-  p.nonce = next_nonce++;
-
-  // §V-B.1/3: poll the datapath into the flow table, then aggregate the
-  // per-peer throughput over the measurement window. Ground-truth byte
-  // counters come from the TM (the simulated Open vSwitch). Entries that
-  // predate the window — left by drained VMs or aborted decision attempts —
-  // are expired first so they cannot skew the aggregation (and the table
-  // stays bounded on long runs).
-  const Ipv4 holder = p.token.holder;
-  const core::VmId u = rt->vm_id(holder);
-  const double now = rt->queue.now();
-  const double window = rt->cfg.measurement_window_s;
-  flows.evict_idle(now - window);
-  for (const auto& [peer, rate] : rt->tm->neighbors(u)) {
-    FlowKey key;
-    key.src_ip = holder;
-    key.dst_ip = rt->vm_addr(peer);
-    key.src_port = static_cast<std::uint16_t>(peer & 0xFFFF);
-    key.dst_port = 443;
-    const auto bytes = static_cast<std::uint64_t>(rate * window / 8.0);
-    flows.update(key, 0, 0, now - window);  // window start marker
-    flows.update(key, bytes, bytes / 1500 + 1, now);
-  }
-  for (const auto& [peer_ip, rate_Bps] : flows.peer_rates_Bps(holder, now)) {
-    p.peer_rates.emplace_back(peer_ip, rate_Bps * 8.0);  // back to TM units
-  }
-  // Flows persist "until a migration decision is made for a VM" (§V-B.1).
-  flows.clear_ip(holder);
-
-  pending = std::move(p);
-  if (pending->peer_rates.empty()) {
-    finish_hold(false, 0.0);
-    return;
-  }
-
-  // §V-B.4: probe every communicating VM for its dom0 location.
-  pending->stage = kLocations;
-  pending->retries_left = rt->cfg.probe_retries;
-  send_location_probes();
-}
-
-/// Send location requests for every peer still missing a response and arm
-/// the stage timeout (first attempt and retransmissions alike).
-void DistributedScoreRuntime::Impl::Agent::send_location_probes() {
-  PendingDecision& p = *pending;
-  p.awaiting_locations = 0;
-  for (const auto& [peer_ip, rate] : p.peer_rates) {
-    (void)rate;
-    if (p.peer_dom0.count(peer_ip)) continue;  // already answered
-    ++p.awaiting_locations;
-    std::vector<std::uint8_t> payload;
-    put_u32(payload, peer_ip);
-    put_u32(payload, p.nonce);
-    // The fabric routes the probe to the peer VM's current host.
-    rt->send(CtrlMsg::kLocationRequest, host, rt->ipam.vm_host(peer_ip),
-             std::move(payload));
-  }
-  arm_probe_timer(kLocations);
-}
-
-/// Send capacity requests for every candidate still missing a response and
-/// arm the stage timeout.
-void DistributedScoreRuntime::Impl::Agent::send_capacity_probes() {
-  PendingDecision& p = *pending;
-  p.awaiting_capacities = 0;
-  for (Ipv4 dom0 : p.candidates) {
-    if (p.capacities.count(dom0)) continue;  // already answered
-    ++p.awaiting_capacities;
-    std::vector<std::uint8_t> payload;
-    put_u32(payload, p.nonce);
-    rt->send(CtrlMsg::kCapacityRequest, host, rt->ipam.host_of_address(dom0),
-             std::move(payload));
-  }
-  arm_probe_timer(kCapacities);
-}
-
-/// Probe timeout: when responses are lost (or their hosts left), the holder
-/// retransmits the unanswered probes; with the retry budget spent it decides
-/// from the answers it has instead of stalling the whole loop.
-void DistributedScoreRuntime::Impl::Agent::arm_probe_timer(Stage stage) {
-  const std::uint32_t nonce = pending->nonce;
-  rt->queue.schedule_in(rt->cfg.probe_timeout_s, [this, nonce, stage] {
-    if (rt->stopped || !pending || pending->nonce != nonce ||
-        pending->stage != stage) {
-      return;
-    }
-    if (stage == kLocations && pending->awaiting_locations > 0) {
-      if (pending->retries_left > 0) {
-        --pending->retries_left;
-        rt->result.probe_retransmits += pending->awaiting_locations;
-        send_location_probes();
-        return;
-      }
-      ++rt->result.probe_timeouts;
-      pending->awaiting_locations = 0;
-      // Peers that never answered are invisible this round: drop them from
-      // the measured set so the Lemma-3 delta only uses confirmed locations.
-      auto& rates = pending->peer_rates;
-      rates.erase(std::remove_if(rates.begin(), rates.end(),
-                                 [this](const std::pair<Ipv4, double>& pr) {
-                                   return pending->peer_dom0.count(pr.first) == 0;
-                                 }),
-                  rates.end());
-      on_locations_complete();
-    } else if (stage == kCapacities && pending->awaiting_capacities > 0) {
-      if (pending->retries_left > 0) {
-        --pending->retries_left;
-        rt->result.probe_retransmits += pending->awaiting_capacities;
-        send_capacity_probes();
-        return;
-      }
-      ++rt->result.probe_timeouts;
-      pending->awaiting_capacities = 0;
-      on_capacities_complete();
-    }
-  });
-}
-
-void DistributedScoreRuntime::Impl::Agent::on_locations_complete() {
-  PendingDecision& p = *pending;
-  const Ipv4 own_dom0 = rt->ipam.host_address(host);
-
-  if (p.peer_rates.empty()) {  // every location probe timed out
-    finish_hold(false, 0.0);
-    return;
-  }
-
-  // Update the token's communication-level entries (Algorithm 1 lines 1-5):
-  // own entry exactly, peers' entries raised only.
-  int own_level = 0;
-  std::vector<std::tuple<int, double, Ipv4>> ranked;  // (level, rate, dom0)
-  for (const auto& [peer_ip, rate] : p.peer_rates) {
-    const Ipv4 peer_dom0 = p.peer_dom0.at(peer_ip);
-    const int level = rt->ipam.level_between(own_dom0, peer_dom0);
-    own_level = std::max(own_level, level);
-    auto& entry = p.token.entries[index_of(p.token.entries, peer_ip)];
-    entry.level = std::max<std::uint8_t>(entry.level,
-                                         static_cast<std::uint8_t>(level));
-    if (level > 0) ranked.emplace_back(level, rate, peer_dom0);
-  }
-  p.token.entries[index_of(p.token.entries, p.token.holder)].level =
-      static_cast<std::uint8_t>(own_level);
-
-  // §V-B.5: candidate hypervisors ranked from the highest communication
-  // level (heaviest traffic first within a level), plus rack siblings as
-  // fallbacks — mirroring MigrationEngine::candidate_servers.
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) > std::get<0>(b);
-    return std::get<1>(a) > std::get<1>(b);
-  });
-  const auto& topo = rt->model->topology();
-  const std::size_t hosts_per_rack = topo.num_hosts() / topo.num_racks();
-  auto push_unique = [&p, this](Ipv4 dom0) {
-    if (p.candidates.size() >= rt->cfg.engine.max_candidates) return;
-    if (dom0 == rt->ipam.host_address(host)) return;
-    if (std::find(p.candidates.begin(), p.candidates.end(), dom0) ==
-        p.candidates.end()) {
-      p.candidates.push_back(dom0);
-    }
-  };
-  for (const auto& [level, rate, dom0] : ranked) {
-    (void)level;
-    (void)rate;
-    push_unique(dom0);
-    if (rt->cfg.engine.probe_rack_siblings) {
-      const auto rack = static_cast<std::size_t>(rt->ipam.rack_of_address(dom0));
-      for (std::size_t i = 0; i < hosts_per_rack; ++i) {
-        push_unique(rt->ipam.host_address(
-            static_cast<topo::HostId>(rack * hosts_per_rack + i)));
-      }
-    }
-    if (p.candidates.size() >= rt->cfg.engine.max_candidates) break;
-  }
-
-  if (p.candidates.empty()) {
-    finish_hold(false, 0.0);
-    return;
-  }
-  p.stage = kCapacities;
-  p.retries_left = rt->cfg.probe_retries;
-  send_capacity_probes();
-}
-
-void DistributedScoreRuntime::Impl::Agent::on_capacities_complete() {
-  PendingDecision& p = *pending;
-  const core::VmId u = rt->vm_id(p.token.holder);
-  const core::VmSpec& spec = rt->alloc->spec(u);
-  const Ipv4 own_dom0 = rt->ipam.host_address(host);
-  const auto& weights = rt->model->weights();
-
-  Ipv4 best_dom0 = 0;
-  double best_delta = 0.0;
-  bool have_best = false;
-  for (Ipv4 cand : p.candidates) {
-    const auto cap_it = p.capacities.find(cand);
-    if (cap_it == p.capacities.end()) continue;  // probe lost / host gone
-    const CapInfo& cap = cap_it->second;
-    if (cap.free_slots == 0 || cap.free_ram_mb < spec.ram_mb ||
-        cap.free_cpu < spec.cpu_cores ||
-        cap.free_net_bps <
-            spec.net_bps + rt->cfg.engine.bandwidth_headroom_bps) {
-      continue;
-    }
-    // Lemma 3, from purely local data: measured λ, probed peer locations.
-    double delta = 0.0;
-    for (const auto& [peer_ip, rate] : p.peer_rates) {
-      const Ipv4 peer_dom0 = p.peer_dom0.at(peer_ip);
-      delta += 2.0 * rate *
-               (weights.prefix(rt->ipam.level_between(peer_dom0, own_dom0)) -
-                weights.prefix(rt->ipam.level_between(peer_dom0, cand)));
-    }
-    if (!have_best || delta > best_delta) {
-      best_dom0 = cand;
-      best_delta = delta;
-      have_best = true;
-    }
-  }
-
-  // Theorem 1, then the migration-cost budget: a win that would overrun the
-  // remaining pre-copy byte budget is rejected (strictly cost-reducing moves
-  // only, and only as many as the operator priced in).
-  if (have_best && best_delta > rt->cfg.engine.migration_cost) {
-    // The capacity response may be stale by commit time (the target left, or
-    // a churn drain consumed its last slot while we waited on other probes):
-    // in that case the live-migration handshake with the target hypervisor
-    // fails and the hold ends without a move.
-    const topo::HostId target = rt->ipam.host_of_address(best_dom0);
-    if (!rt->host_up[target] || !rt->alloc->can_host(target, spec)) {
-      finish_hold(false, 0.0);
-      return;
-    }
-    const MigrationOutcome outcome = rt->simulate_migration(spec);
-    if (rt->cfg.migration_budget_mb > 0.0 &&
-        rt->result.migrated_mb + outcome.migrated_mb >
-            rt->cfg.migration_budget_mb) {
-      ++rt->result.budget_rejected;
-      finish_hold(false, 0.0);
-      return;
-    }
-    rt->model->apply_migration(*rt->alloc, *rt->tm, u, target);
-    rt->ipam.move_vm(p.token.holder, target);
-    rt->result.migrated_mb += outcome.migrated_mb;
-    rt->result.migration_time_s += outcome.total_time_s;
-    ++p.token.epoch;  // allocation epoch advances with every commit
-    p.token.aggregate_delta += best_delta;
-    finish_hold(true, outcome.total_time_s);
-  } else {
-    finish_hold(false, 0.0);
-  }
-}
-
-void DistributedScoreRuntime::Impl::Agent::finish_hold(bool migrated,
-                                                       double migration_time_s) {
-  PendingDecision& p = *pending;
-  const double busy = rt->cfg.decision_time_s + migration_time_s;
-  ++p.token.ring_pos;
-
-  // Token telemetry: the last completed hold's view is the final one.
-  rt->result.final_epoch = p.token.epoch;
-  rt->result.final_ring_pos = p.token.ring_pos;
-  rt->result.aggregate_delta = p.token.aggregate_delta;
-
-  bool run_on = rt->hold_complete(migrated);
-  Ipv4 next = p.token.holder;
-  if (run_on) {
-    // Forward past VMs stranded on departed hosts (drain failures): each
-    // skipped VM's hold completes trivially at the forwarding agent.
-    for (std::size_t i = 0; run_on && i <= p.token.entries.size(); ++i) {
-      next = rt->use_hlf ? next_highest_level_first(p.token.entries, next)
-                         : next_round_robin(p.token.entries, next);
-      if (rt->host_up[rt->ipam.vm_host(next)]) break;
-      ++p.token.ring_pos;
-      rt->result.final_ring_pos = p.token.ring_pos;
-      run_on = rt->hold_complete(false);
-    }
-  }
-  if (!run_on) {
-    pending.reset();
-    return;
-  }
-  if (!rt->host_up[rt->ipam.vm_host(next)]) {
-    // Every remaining entry is stranded on departed hosts: no reachable
-    // holder exists, so the run cannot make further progress.
-    rt->stop_run();
-    pending.reset();
-    return;
-  }
-
-  p.token.holder = next;
-  auto payload = encode_token(p.token);
-  const topo::HostId next_host = rt->ipam.vm_host(next);
-  // The token leaves after the dom0 work (and any migration) completes; the
-  // watchdog sees the scheduled send and does not mistake the transfer time
-  // for a lost token.
-  auto* impl = rt;
-  const topo::HostId from = host;
-  ++rt->scheduled_token_sends;
-  rt->queue.schedule_in(busy, [impl, from, next_host,
-                               buf = std::move(payload)]() mutable {
-    --impl->scheduled_token_sends;
-    if (impl->stopped) return;
-    impl->send(CtrlMsg::kToken, from, next_host, std::move(buf));
-  });
-  pending.reset();
-}
 
 // ---- public wrapper ----------------------------------------------------------
 
@@ -856,6 +297,7 @@ driver::ConvergenceReport RuntimeResult::report() const {
   report.control_messages =
       token_messages + location_messages + capacity_messages;
   report.control_bytes = control_bytes;
+  report.trace_hash = trace_hash;
   return report;
 }
 
@@ -863,10 +305,92 @@ DistributedScoreRuntime::DistributedScoreRuntime(const core::CostModel& model,
                                                  core::Allocation& alloc,
                                                  const traffic::TrafficMatrix& tm,
                                                  RuntimeConfig config)
-    : impl_(std::make_unique<Impl>(model, alloc, tm, std::move(config))) {}
+    : impl_(std::make_unique<Impl>(model, alloc, tm, std::move(config),
+                                   nullptr)) {}
+
+DistributedScoreRuntime::DistributedScoreRuntime(const core::CostModel& model,
+                                                 core::Allocation& alloc,
+                                                 const traffic::TrafficMatrix& tm,
+                                                 RuntimeConfig config,
+                                                 AgentExecutor& executor)
+    : impl_(std::make_unique<Impl>(model, alloc, tm, std::move(config),
+                                   &executor)) {}
 
 DistributedScoreRuntime::~DistributedScoreRuntime() = default;
 
 RuntimeResult DistributedScoreRuntime::run() { return impl_->run(); }
+
+// ---- world fingerprint -------------------------------------------------------
+
+std::uint64_t world_fingerprint(const core::CostModel& model,
+                                const core::Allocation& alloc,
+                                const traffic::TrafficMatrix& tm,
+                                const RuntimeConfig& config) {
+  using wire::fnv1a;
+  const auto f64 = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  std::uint64_t h = 1469598103934665603ull;
+
+  const topo::Topology& topo = model.topology();
+  h = fnv1a(h, topo.num_hosts());
+  h = fnv1a(h, topo.num_racks());
+  h = fnv1a(h, static_cast<std::uint64_t>(topo.max_level()));
+  for (int lvl = 0; lvl <= topo.max_level(); ++lvl) {
+    h = fnv1a(h, f64(model.weights().prefix(lvl)));
+  }
+  for (topo::HostId a = 0; a < topo.num_hosts(); ++a) {
+    const core::ServerCapacity& cap = alloc.capacity(a);
+    h = fnv1a(h, cap.vm_slots);
+    h = fnv1a(h, f64(cap.ram_mb));
+    h = fnv1a(h, f64(cap.cpu_cores));
+    h = fnv1a(h, f64(cap.net_bps));
+  }
+  for (core::VmId vm = 0; vm < alloc.num_vms(); ++vm) {
+    const core::VmSpec& spec = alloc.spec(vm);
+    h = fnv1a(h, alloc.server_of(vm));
+    h = fnv1a(h, f64(spec.ram_mb));
+    h = fnv1a(h, f64(spec.cpu_cores));
+    h = fnv1a(h, f64(spec.net_bps));
+    for (const auto& [peer, rate] : tm.neighbors(vm)) {
+      h = fnv1a(h, peer);
+      h = fnv1a(h, f64(rate));
+    }
+  }
+
+  for (const char c : config.policy) h = fnv1a(h, static_cast<std::uint8_t>(c));
+  h = fnv1a(h, f64(config.engine.migration_cost));
+  h = fnv1a(h, f64(config.engine.bandwidth_headroom_bps));
+  h = fnv1a(h, config.engine.max_candidates);
+  h = fnv1a(h, config.engine.probe_rack_siblings ? 1 : 0);
+  h = fnv1a(h, config.iterations);
+  h = fnv1a(h, config.stop_when_stable ? 1 : 0);
+  h = fnv1a(h, f64(config.measurement_window_s));
+  h = fnv1a(h, f64(config.decision_time_s));
+  h = fnv1a(h, f64(config.per_hop_latency_s));
+  h = fnv1a(h, f64(config.loopback_latency_s));
+  h = fnv1a(h, f64(config.migration_model.vm_ram_mb));
+  h = fnv1a(h, f64(config.migration_model.working_set_mean_mb));
+  h = fnv1a(h, f64(config.migration_model.working_set_std_mb));
+  h = fnv1a(h, f64(config.migration_model.dirty_rate_min_mbps));
+  h = fnv1a(h, f64(config.migration_model.dirty_rate_max_mbps));
+  h = fnv1a(h, f64(config.migration_model.link_bps));
+  h = fnv1a(h, f64(config.migration_model.efficiency));
+  h = fnv1a(h, f64(config.migration_model.stop_copy_threshold_mb));
+  h = fnv1a(h, static_cast<std::uint64_t>(config.migration_model.max_rounds));
+  h = fnv1a(h, f64(config.background_load));
+  h = fnv1a(h, config.migration_seed);
+  h = fnv1a(h, f64(config.migration_budget_mb));
+  h = fnv1a(h, f64(config.message_loss_rate));
+  h = fnv1a(h, config.loss_seed);
+  h = fnv1a(h, f64(config.retransmit_timeout_s));
+  h = fnv1a(h, f64(config.probe_timeout_s));
+  h = fnv1a(h, config.probe_retries);
+  h = fnv1a(h, config.churn.size());
+  for (const ChurnEvent& ev : config.churn) {
+    h = fnv1a(h, f64(ev.time_s));
+    h = fnv1a(h, ev.host);
+    h = fnv1a(h, ev.leave ? 1 : 0);
+  }
+  return h;
+}
 
 }  // namespace score::hypervisor

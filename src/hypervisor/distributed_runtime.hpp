@@ -1,27 +1,25 @@
 // Distributed S-CORE control plane — the paper's §V implementation, run as
-// message-passing dom0 agents over the simulated fabric.
+// message-passing dom0 agents over a pluggable fabric.
 //
 // Each host runs a Dom0Agent ("a token listening server runs on a known port
 // in dom0 of each hypervisor") holding only its local VM set and a local view
 // of traffic (its own flow table). When the token arrives for a hosted VM,
 // the agent — acting on the VM's behalf, since virtualization is transparent
 // — executes the full §V-B pipeline using only locally obtainable
-// information:
+// information (see hypervisor/agent.hpp for the pipeline and the seams the
+// agent runs behind).
 //
-//   1. polls the datapath into its flow table and computes the aggregate
-//      per-peer traffic load of the token VM (§V-B.1/3),
-//   2. probes each communicating VM with a *location request*; the peer's
-//      dom0 answers with its own address, from which the static rack-subnet
-//      scheme (Ipam) yields the communication level (§V-B.4),
-//   3. sends *capacity requests* to candidate hypervisors, ranked from the
-//      highest communication level downwards; they answer with free VM slots
-//      and available RAM/CPU/bandwidth (§V-B.5),
-//   4. applies Theorem 1 (delta > c_m) and, when satisfied and within the
-//      migration-cost budget, live-migrates the VM — transfer time and bytes
-//      come from the pre-copy model (hypervisor/live_migration) — and
-//      updates the token's communication-level entries,
-//   5. forwards the token to the next VM per the Round-Robin or
-//      Highest-Level-First policy, computed purely from token state.
+// The runtime is the composition root: it owns the event queue and fabric
+// (sim::Network behind a SimCommunicator), the authoritative world
+// (SimHypervisor), the convergence ledger (RunControl), and the
+// placement-manager roles — token injection, the retransmission watchdog,
+// and host churn with drains. The agents themselves live behind the
+// AgentExecutor seam:
+//   * by default a LocalAgentExecutor runs every Dom0Agent in-process;
+//   * a RemoteAgentExecutor (remote_executor.hpp) dispatches each delivery
+//     as a framed task to score_agent daemon processes over loopback
+//     sockets and replays their reported actions — same event order, same
+//     trace hash, different process boundary.
 //
 // The token travels as the framed wire format of hypervisor/token_codec:
 // besides the per-VM entries it carries the allocation epoch (committed
@@ -62,22 +60,19 @@
 #include "core/cost_model.hpp"
 #include "core/migration_engine.hpp"
 #include "driver/convergence.hpp"
+#include "hypervisor/communicator.hpp"
 #include "hypervisor/flow_table.hpp"
 #include "hypervisor/ipam.hpp"
 #include "hypervisor/live_migration.hpp"
+#include "hypervisor/run_control.hpp"
 #include "sim/network.hpp"
 #include "traffic/traffic_matrix.hpp"
 
 namespace score::hypervisor {
 
-/// Control-plane message types (sim::Message::type).
-enum class CtrlMsg : int {
-  kToken = 1,
-  kLocationRequest = 2,
-  kLocationResponse = 3,
-  kCapacityRequest = 4,
-  kCapacityResponse = 5,
-};
+class AgentExecutor;
+struct AgentConfig;
+struct SimHypervisorConfig;
 
 /// One scheduled membership change. A leaving host is drained (its VMs
 /// live-migrated to feasible hosts) and its agent detached; a joining host
@@ -140,13 +135,6 @@ struct RuntimeConfig {
   /// Record the full wire trace in RuntimeResult::trace (trace_hash is always
   /// computed; the verbatim trace costs memory proportional to messages).
   bool record_trace = false;
-};
-
-struct RuntimeIteration {
-  std::size_t holds = 0;
-  std::size_t migrations = 0;
-  double migrated_ratio = 0.0;
-  double cost_at_end = 0.0;
 };
 
 /// One observed control-plane send, in send order (the determinism seam).
@@ -217,10 +205,18 @@ struct RuntimeResult {
 class DistributedScoreRuntime {
  public:
   /// `alloc` is mutated as agents migrate VMs; `tm` provides the ground-truth
-  /// byte counters the simulated datapath reports.
+  /// byte counters the simulated datapath reports. Agents run in-process
+  /// behind a LocalAgentExecutor.
   DistributedScoreRuntime(const core::CostModel& model, core::Allocation& alloc,
                           const traffic::TrafficMatrix& tm,
                           RuntimeConfig config = {});
+
+  /// Run the agents behind a caller-supplied executor (e.g. a
+  /// RemoteAgentExecutor dispatching to score_agent daemons). `executor`
+  /// must outlive the runtime.
+  DistributedScoreRuntime(const core::CostModel& model, core::Allocation& alloc,
+                          const traffic::TrafficMatrix& tm,
+                          RuntimeConfig config, AgentExecutor& executor);
   ~DistributedScoreRuntime();
 
   DistributedScoreRuntime(const DistributedScoreRuntime&) = delete;
@@ -232,5 +228,21 @@ class DistributedScoreRuntime {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+/// The protocol constants an agent derives from a runtime config — the same
+/// mapping builds the in-process agents and every score_agent daemon replica.
+AgentConfig agent_config_of(const RuntimeConfig& config);
+/// The slice of a runtime config that parameterizes a (replica) SimHypervisor.
+SimHypervisorConfig sim_hypervisor_config_of(const RuntimeConfig& config);
+
+/// FNV-1a fingerprint over everything that determines a run's behavior:
+/// topology shape, capacities, VM specs and placement, traffic matrix, and
+/// the protocol-relevant RuntimeConfig fields. The scheduler and every
+/// score_agent daemon build their worlds independently from CLI flags; equal
+/// fingerprints are the handshake precondition for a multi-process run.
+std::uint64_t world_fingerprint(const core::CostModel& model,
+                                const core::Allocation& alloc,
+                                const traffic::TrafficMatrix& tm,
+                                const RuntimeConfig& config);
 
 }  // namespace score::hypervisor

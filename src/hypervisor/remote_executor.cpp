@@ -1,0 +1,273 @@
+#include "hypervisor/remote_executor.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "hypervisor/hypervisor.hpp"
+#include "hypervisor/run_control.hpp"
+#include "hypervisor/wire.hpp"
+
+namespace score::hypervisor {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("remote_executor: " + what);
+}
+
+/// Does this action mutate replica state (allocation, directory, RNG,
+/// convergence ledger)? Only these are synced to the other daemons; fabric
+/// sends and telemetry live on the scheduler alone.
+bool mutates_replicas(TaskActionKind kind) {
+  switch (kind) {
+    case TaskActionKind::kHold:
+    case TaskActionKind::kMigration:
+    case TaskActionKind::kBudgetReject:
+    case TaskActionKind::kStopRun:
+    case TaskActionKind::kHostLeave:
+    case TaskActionKind::kHostJoin:
+      return true;
+    case TaskActionKind::kSend:
+    case TaskActionKind::kArmTimer:
+    case TaskActionKind::kProbeRetransmit:
+    case TaskActionKind::kProbeTimeout:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+RemoteAgentExecutor::RemoteAgentExecutor(std::vector<util::Socket> sockets,
+                                         std::uint64_t fingerprint)
+    : sockets_(std::move(sockets)), fingerprint_(fingerprint) {
+  if (sockets_.empty()) fail("no agent connections");
+}
+
+void RemoteAgentExecutor::send_frame(std::uint32_t agent,
+                                     const TaskFrame& frame) {
+  const std::vector<std::uint8_t> bytes = encode_task(frame);
+  if (tap_) {
+    WireRecord rec;
+    rec.to_agent = true;
+    rec.agent = agent;
+    rec.type = frame.type;
+    rec.seq = frame.seq;
+    rec.bytes = static_cast<std::uint32_t>(bytes.size());
+    rec.payload_fnv = wire::fnv1a_bytes(bytes);
+    tap_(rec);
+  }
+  sockets_[agent].write_frame(bytes);
+}
+
+TaskFrame RemoteAgentExecutor::read_frame(std::uint32_t agent) {
+  const std::vector<std::uint8_t> bytes = sockets_[agent].read_frame();
+  TaskFrame frame = decode_task(bytes);
+  if (tap_) {
+    WireRecord rec;
+    rec.to_agent = false;
+    rec.agent = agent;
+    rec.type = frame.type;
+    rec.seq = frame.seq;
+    rec.bytes = static_cast<std::uint32_t>(bytes.size());
+    rec.payload_fnv = wire::fnv1a_bytes(bytes);
+    tap_(rec);
+  }
+  return frame;
+}
+
+void RemoteAgentExecutor::start(RuntimeCore& core) {
+  core_ = &core;
+  const std::uint32_t num_hosts = core.sim_hypervisor().topology().num_hosts();
+  const auto num_agents = static_cast<std::uint32_t>(sockets_.size());
+  if (num_agents > num_hosts) fail("more agent connections than hosts");
+
+  // Contiguous host ranges, remainder spread over the first agents.
+  ranges_.clear();
+  const std::uint32_t base = num_hosts / num_agents;
+  const std::uint32_t extra = num_hosts % num_agents;
+  std::uint32_t begin = 0;
+  for (std::uint32_t a = 0; a < num_agents; ++a) {
+    const std::uint32_t end = begin + base + (a < extra ? 1 : 0);
+    ranges_.emplace_back(begin, end);
+    begin = end;
+  }
+  pending_.assign(num_agents, {});
+  next_seq_.assign(num_agents, 1);
+
+  for (std::uint32_t a = 0; a < num_agents; ++a) {
+    const TaskFrame hello = read_frame(a);
+    if (hello.type != TaskType::kHello) {
+      fail("expected kHello from agent " + std::to_string(a));
+    }
+    if (hello.fingerprint != fingerprint_) {
+      std::ostringstream os;
+      os << "world fingerprint mismatch with agent " << a << " (scheduler "
+         << std::hex << fingerprint_ << ", agent " << hello.fingerprint
+         << ") — both processes must be launched with identical world flags";
+      fail(os.str());
+    }
+    TaskFrame init;
+    init.type = TaskType::kInit;
+    init.agent_id = a;
+    init.num_agents = num_agents;
+    init.host_begin = ranges_[a].first;
+    init.host_end = ranges_[a].second;
+    init.fingerprint = fingerprint_;
+    send_frame(a, init);
+  }
+}
+
+std::uint32_t RemoteAgentExecutor::agent_of_host(topo::HostId host) const {
+  for (std::uint32_t a = 0; a < ranges_.size(); ++a) {
+    if (host >= ranges_[a].first && host < ranges_[a].second) return a;
+  }
+  fail("host " + std::to_string(host) + " outside every agent range");
+}
+
+void RemoteAgentExecutor::flush_pending(std::uint32_t agent) {
+  if (pending_[agent].empty()) return;
+  TaskFrame apply;
+  apply.type = TaskType::kApply;
+  apply.seq = next_seq_[agent]++;
+  apply.time_s = core_->env().comm().now();
+  apply.actions = std::move(pending_[agent]);
+  pending_[agent].clear();
+  send_frame(agent, apply);
+}
+
+void RemoteAgentExecutor::round_trip(std::uint32_t agent, TaskFrame task) {
+  flush_pending(agent);
+  task.seq = next_seq_[agent]++;
+  send_frame(agent, task);
+  const TaskFrame result = read_frame(agent);
+  if (result.type != TaskType::kResult || result.seq != task.seq) {
+    fail("agent " + std::to_string(agent) +
+         " answered with a mismatched result frame");
+  }
+
+  AgentEnv& env = core_->env();
+  SimHypervisor& hv = core_->sim_hypervisor();
+  for (const TaskAction& a : result.actions) {
+    switch (a.kind) {
+      case TaskActionKind::kSend:
+        if (a.delay_s == 0.0) {
+          env.comm().send(static_cast<CtrlMsg>(a.msg_type), a.src, a.dst,
+                          std::vector<std::uint8_t>(a.payload));
+        } else {
+          env.comm().send_after(a.delay_s, static_cast<CtrlMsg>(a.msg_type),
+                                a.src, a.dst,
+                                std::vector<std::uint8_t>(a.payload));
+        }
+        break;
+      case TaskActionKind::kArmTimer:
+        env.comm().arm_probe_timer(a.host, a.delay_s, a.nonce, a.stage);
+        break;
+      case TaskActionKind::kHold:
+        env.token_telemetry(a.epoch, a.ring_pos, a.aggregate_delta);
+        env.hold_complete(a.migrated);
+        break;
+      case TaskActionKind::kMigration:
+        if (hv.migrate(a.vm, a.target, nullptr) !=
+            Hypervisor::MigrateStatus::kCommitted) {
+          fail("authoritative world rejected a migration agent " +
+               std::to_string(agent) + " committed — replica drift");
+        }
+        break;
+      case TaskActionKind::kBudgetReject:
+        hv.replay_budget_reject(a.vm);
+        break;
+      case TaskActionKind::kStopRun:
+        env.stop_run();
+        break;
+      case TaskActionKind::kProbeRetransmit:
+        env.note_probe_retransmits(a.count);
+        break;
+      case TaskActionKind::kProbeTimeout:
+        env.note_probe_timeout();
+        break;
+      case TaskActionKind::kHostLeave:
+      case TaskActionKind::kHostJoin:
+        fail("churn action in a result frame");
+    }
+    if (mutates_replicas(a.kind)) {
+      for (std::uint32_t b = 0; b < pending_.size(); ++b) {
+        if (b != agent) pending_[b].push_back(a);
+      }
+    }
+  }
+}
+
+void RemoteAgentExecutor::deliver(const sim::Message& msg) {
+  TaskFrame task;
+  task.type = TaskType::kDeliver;
+  task.time_s = core_->env().comm().now();
+  task.msg_type = static_cast<std::uint8_t>(msg.type);
+  task.src = msg.src;
+  task.dst = msg.dst;
+  task.payload = msg.payload;
+  round_trip(agent_of_host(msg.dst), std::move(task));
+}
+
+void RemoteAgentExecutor::fire_probe_timer(topo::HostId host,
+                                           std::uint32_t nonce, int stage) {
+  TaskFrame task;
+  task.type = TaskType::kTimer;
+  task.time_s = core_->env().comm().now();
+  task.host = host;
+  task.nonce = nonce;
+  task.stage = static_cast<std::uint8_t>(stage);
+  round_trip(agent_of_host(host), std::move(task));
+}
+
+void RemoteAgentExecutor::queue_churn(TaskActionKind kind, topo::HostId host) {
+  TaskAction a;
+  a.kind = kind;
+  a.host = host;
+  for (std::vector<TaskAction>& q : pending_) q.push_back(a);
+}
+
+void RemoteAgentExecutor::host_left(topo::HostId host) {
+  queue_churn(TaskActionKind::kHostLeave, host);
+}
+
+void RemoteAgentExecutor::host_joined(topo::HostId host) {
+  queue_churn(TaskActionKind::kHostJoin, host);
+}
+
+void RemoteAgentExecutor::finish() {
+  if (finished_ || core_ == nullptr) return;
+  finished_ = true;
+  SimHypervisor& hv = core_->sim_hypervisor();
+  const RunControl& ctl = core_->run_control();
+  const double final_cost = hv.model().total_cost(hv.alloc(), hv.tm());
+
+  for (std::uint32_t a = 0; a < sockets_.size(); ++a) {
+    flush_pending(a);
+    TaskFrame shutdown;
+    shutdown.type = TaskType::kShutdown;
+    shutdown.seq = next_seq_[a]++;
+    send_frame(a, shutdown);
+    const TaskFrame fin = read_frame(a);
+    if (fin.type != TaskType::kFinal) {
+      fail("expected kFinal from agent " + std::to_string(a));
+    }
+    // Replicas advance through the identical call sequence with identical
+    // seeds, so the comparison is exact — any inequality means the worlds
+    // diverged mid-run and the whole result is suspect.
+    if (fin.final_cost != final_cost || fin.migrated_mb != hv.migrated_mb() ||
+        fin.total_migrations != ctl.total_migrations() ||
+        fin.total_holds != ctl.total_holds()) {
+      std::ostringstream os;
+      os << "replica drift at shutdown, agent " << a << ": cost "
+         << fin.final_cost << " vs " << final_cost << ", migrated MB "
+         << fin.migrated_mb << " vs " << hv.migrated_mb() << ", migrations "
+         << fin.total_migrations << " vs " << ctl.total_migrations()
+         << ", holds " << fin.total_holds << " vs " << ctl.total_holds();
+      fail(os.str());
+    }
+  }
+}
+
+}  // namespace score::hypervisor

@@ -1,0 +1,85 @@
+// RemoteAgentExecutor — the scheduler side of the multi-process control
+// plane: an AgentExecutor that frames every fabric delivery / probe-timer
+// firing as a task for the score_agent daemon owning the destination host,
+// and replays the daemon's reported actions into the authoritative runtime.
+//
+// The scheduler keeps virtual time, the fabric (loss RNG, latencies, trace
+// hash) and the authoritative world; daemons keep the agent decision state
+// over world replicas. Because every task blocks until its result frame is
+// replayed — inside the same event-queue callback an in-process agent would
+// have run in — the schedule the runtime sees is identical to the
+// LocalAgentExecutor's, and so is the wire trace hash.
+//
+// Replica sync: state-mutating actions (holds, migrations, budget rejects,
+// stop, churn) are queued per daemon and flushed as one kApply frame
+// immediately before that daemon's next task. TCP ordering makes the flush
+// reliable; no acknowledgements are needed.
+//
+// finish() shuts every daemon down and cross-checks its kFinal summary
+// (final cost, migrated MB, hold/migration counts) against the authoritative
+// state — replica drift is a thrown error, never a silent wrong answer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hypervisor/agent.hpp"
+#include "hypervisor/task_codec.hpp"
+#include "util/socket.hpp"
+
+namespace score::hypervisor {
+
+class RemoteAgentExecutor final : public AgentExecutor {
+ public:
+  /// One observed protocol frame, for wire traces (golden tests, CI
+  /// artifacts). `payload_fnv` is FNV-1a over the encoded frame bytes.
+  struct WireRecord {
+    bool to_agent = false;  ///< direction: scheduler -> agent?
+    std::uint32_t agent = 0;
+    TaskType type = TaskType::kHello;
+    std::uint32_t seq = 0;
+    std::uint32_t bytes = 0;
+    std::uint64_t payload_fnv = 0;
+  };
+  using WireTap = std::function<void(const WireRecord&)>;
+
+  /// `sockets` are accepted daemon connections (one per agent, already
+  /// connected, handshake not yet read); `fingerprint` is the scheduler's
+  /// world fingerprint every daemon must match.
+  RemoteAgentExecutor(std::vector<util::Socket> sockets,
+                      std::uint64_t fingerprint);
+
+  void set_wire_tap(WireTap tap) { tap_ = std::move(tap); }
+
+  // ---- AgentExecutor --------------------------------------------------------
+  void start(RuntimeCore& core) override;
+  void deliver(const sim::Message& msg) override;
+  void fire_probe_timer(topo::HostId host, std::uint32_t nonce,
+                        int stage) override;
+  void host_left(topo::HostId host) override;
+  void host_joined(topo::HostId host) override;
+  void finish() override;
+
+ private:
+  void send_frame(std::uint32_t agent, const TaskFrame& frame);
+  TaskFrame read_frame(std::uint32_t agent);
+  void flush_pending(std::uint32_t agent);
+  /// Send one task, await its kResult, replay the actions authoritatively
+  /// and queue the state-mutating ones for every other daemon.
+  void round_trip(std::uint32_t agent, TaskFrame task);
+  std::uint32_t agent_of_host(topo::HostId host) const;
+  void queue_churn(TaskActionKind kind, topo::HostId host);
+
+  std::vector<util::Socket> sockets_;
+  std::uint64_t fingerprint_;
+  WireTap tap_;
+  RuntimeCore* core_ = nullptr;
+  /// Contiguous host ranges, one [begin, end) per agent, covering all hosts.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges_;
+  std::vector<std::vector<TaskAction>> pending_;
+  std::vector<std::uint32_t> next_seq_;
+  bool finished_ = false;
+};
+
+}  // namespace score::hypervisor

@@ -1,0 +1,137 @@
+// Task/result wire format — the control-plane protocol between a
+// score_scheduler and its score_agent daemons, extending the token codec's
+// magic/version/strict-decode discipline to the multi-process seam.
+//
+// The scheduler owns virtual time (event queue), the fabric (sim::Network)
+// and the authoritative world; daemons own the agent decision state (flow
+// tables, pending decisions) over full world replicas. One exchange per
+// fabric event:
+//
+//   daemon                scheduler
+//     | -- kHello ------------> |   fingerprint handshake (identical worlds)
+//     | <------------ kInit --- |   host range assignment
+//     | <----------- kApply --- |   replica sync: effects other agents caused
+//     | <--------- kDeliver --- |   one message delivery (or kTimer)
+//     | -- kResult -----------> |   ordered actions the agent took
+//     |          ...            |
+//     | <-------- kShutdown --- |
+//     | -- kFinal ------------> |   replica cross-check (cost, accounting)
+//
+// Actions are the serialized form of everything a Dom0Agent can do through
+// its AgentEnv: fabric sends (immediate or delayed), probe-timer arms, hold
+// completions (with token telemetry), migration commits / budget rejects,
+// probe statistics and the run stop. The scheduler replays them in order
+// against its authoritative state — which is exactly why a multi-process run
+// reproduces the in-process event order, trace hash included. kApply frames
+// reuse the action encoding to sync replicas (holds, migrations, churn).
+//
+// All integers are little-endian; doubles travel as IEEE-754 bits. Frames
+// are self-delimiting and decode_task validates strictly: magic, version,
+// known type and action kinds, finite doubles, in-range payload lengths,
+// action counts consistent with the byte length, and exact total length —
+// truncated or corrupted buffers throw std::invalid_argument rather than
+// decoding to garbage (mirroring hypervisor/token_codec).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace score::hypervisor {
+
+constexpr std::uint8_t kTaskFrameVersion = 1;
+
+enum class TaskType : std::uint8_t {
+  kHello = 1,     ///< daemon -> scheduler: version + world fingerprint
+  kInit = 2,      ///< scheduler -> daemon: agent id + host range
+  kDeliver = 3,   ///< scheduler -> daemon: one fabric message delivery
+  kTimer = 4,     ///< scheduler -> daemon: one probe timer fired
+  kApply = 5,     ///< scheduler -> daemon: replica-sync actions
+  kShutdown = 6,  ///< scheduler -> daemon: run over, report kFinal
+  kResult = 7,    ///< daemon -> scheduler: actions taken by one task
+  kFinal = 8,     ///< daemon -> scheduler: replica cross-check summary
+};
+
+enum class TaskActionKind : std::uint8_t {
+  kSend = 1,            ///< fabric send (delay 0) or delayed token hand-off
+  kArmTimer = 2,        ///< probe-stage timeout armed
+  kHold = 3,            ///< hold completed (+ token telemetry)
+  kMigration = 4,       ///< live migration committed
+  kBudgetReject = 5,    ///< Theorem-1 win priced out (consumed an RNG draw)
+  kStopRun = 6,         ///< run stopped
+  kProbeRetransmit = 7, ///< probes re-sent after a stage timeout
+  kProbeTimeout = 8,    ///< decision completed on partial information
+  kHostLeave = 9,       ///< churn: host left (drain on every replica)
+  kHostJoin = 10,       ///< churn: host rejoined
+};
+
+/// One serialized agent effect. Field use depends on `kind`; unused fields
+/// must stay zero (decode leaves them zero, equality is field-wise).
+struct TaskAction {
+  TaskActionKind kind = TaskActionKind::kSend;
+  // kSend
+  std::uint8_t msg_type = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  double delay_s = 0.0;
+  std::vector<std::uint8_t> payload;
+  // kArmTimer / kHostLeave / kHostJoin
+  std::uint32_t host = 0;
+  std::uint32_t nonce = 0;
+  std::uint8_t stage = 0;
+  // kHold
+  bool migrated = false;
+  std::uint32_t epoch = 0;
+  std::uint32_t ring_pos = 0;
+  double aggregate_delta = 0.0;
+  // kMigration / kBudgetReject
+  std::uint32_t vm = 0;
+  std::uint32_t target = 0;
+  // kProbeRetransmit
+  std::uint32_t count = 0;
+
+  bool operator==(const TaskAction&) const = default;
+};
+
+/// One decoded frame. Field use depends on `type`.
+struct TaskFrame {
+  TaskType type = TaskType::kHello;
+  std::uint32_t seq = 0;  ///< per-agent sequence; kResult echoes its task's
+  // kHello / kInit
+  std::uint64_t fingerprint = 0;
+  std::uint32_t agent_id = 0;
+  std::uint32_t num_agents = 0;
+  std::uint32_t host_begin = 0;  ///< inclusive
+  std::uint32_t host_end = 0;    ///< exclusive
+  // kDeliver / kTimer / kApply
+  double time_s = 0.0;
+  // kDeliver
+  std::uint8_t msg_type = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::vector<std::uint8_t> payload;
+  // kTimer
+  std::uint32_t host = 0;
+  std::uint32_t nonce = 0;
+  std::uint8_t stage = 0;
+  // kApply / kResult
+  std::vector<TaskAction> actions;
+  // kFinal
+  double final_cost = 0.0;
+  double migrated_mb = 0.0;
+  std::uint64_t total_migrations = 0;
+  std::uint64_t total_holds = 0;
+
+  bool operator==(const TaskFrame&) const = default;
+};
+
+/// Frame header: magic "SCTA" + version + type + seq.
+constexpr std::size_t task_frame_header_bytes() { return 4 + 1 + 1 + 4; }
+
+/// Encode a frame. Throws std::invalid_argument on unknown type/action
+/// kinds, non-finite doubles, stages outside {0,1}, or oversized payloads.
+std::vector<std::uint8_t> encode_task(const TaskFrame& frame);
+
+/// Decode and validate a frame (see header comment for the reject list).
+TaskFrame decode_task(const std::vector<std::uint8_t>& buf);
+
+}  // namespace score::hypervisor

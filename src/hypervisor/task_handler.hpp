@@ -1,0 +1,45 @@
+// TaskHandler — the dispatch layer between the framed task protocol
+// (task_codec) and whatever executes the tasks. A score_agent daemon
+// registers one handler per TaskType (deliver, timer, apply, shutdown);
+// dispatch() decodes nothing — it routes already-validated frames, so codec
+// strictness and execution stay separate concerns and a handler table can be
+// unit-tested without sockets.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "hypervisor/task_codec.hpp"
+
+namespace score::hypervisor {
+
+class TaskHandler {
+ public:
+  using Handler = std::function<void(const TaskFrame&)>;
+
+  /// Register the handler for one frame type (replaces any previous one).
+  void on(TaskType type, Handler handler) {
+    handlers_.at(index(type)) = std::move(handler);
+  }
+
+  /// Route a frame to its handler. Returns false when no handler is
+  /// registered for the type (the caller decides whether that is fatal).
+  bool dispatch(const TaskFrame& frame) const {
+    const Handler& h = handlers_.at(index(frame.type));
+    if (!h) return false;
+    h(frame);
+    return true;
+  }
+
+  bool handles(TaskType type) const {
+    return static_cast<bool>(handlers_.at(index(type)));
+  }
+
+ private:
+  static std::size_t index(TaskType type) {
+    return static_cast<std::size_t>(type) - 1;
+  }
+  std::array<Handler, 8> handlers_;
+};
+
+}  // namespace score::hypervisor

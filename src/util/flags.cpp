@@ -86,6 +86,7 @@ void Flags::set_value(const std::string& name, const std::string& value) {
       break;
   }
   e.value = value;
+  e.set_by_user = true;
 }
 
 bool Flags::parse(int argc, const char* const* argv) {
@@ -107,6 +108,7 @@ bool Flags::parse(int argc, const char* const* argv) {
     }
     if (it->second.kind == Kind::kBool) {
       it->second.value = "true";  // bare boolean flag
+      it->second.set_by_user = true;
       continue;
     }
     if (i + 1 >= argc) {
@@ -143,6 +145,14 @@ double Flags::get_double(const std::string& name) const {
 
 bool Flags::get_bool(const std::string& name) const {
   return lookup(name, Kind::kBool).value == "true";
+}
+
+bool Flags::is_set(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::logic_error("flag --" + name + " was never registered");
+  }
+  return it->second.set_by_user;
 }
 
 std::string Flags::help(const std::string& program) const {

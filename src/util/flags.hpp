@@ -30,6 +30,12 @@ class Flags {
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;
 
+  /// Was the flag given on the command line (as opposed to defaulted)?
+  /// Lets a tool reject combinations like `--loss` with `--mode centralized`
+  /// without forbidding the default value. Throws std::logic_error for a
+  /// name that was never registered.
+  bool is_set(const std::string& name) const;
+
   /// Generated usage text.
   std::string help(const std::string& program = "program") const;
 
@@ -40,6 +46,7 @@ class Flags {
     std::string value;  // canonical string form
     std::string default_value;
     std::string help;
+    bool set_by_user = false;
   };
 
   const Entry& lookup(const std::string& name, Kind kind) const;

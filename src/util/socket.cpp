@@ -1,0 +1,294 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace score::util {
+
+namespace {
+
+constexpr std::size_t kMaxFrameBytes = 1u << 28;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("socket: " + what + " (" +
+                           std::strerror(errno) + ")");
+}
+
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string path;  // unix
+  std::string host;  // tcp
+  std::uint16_t port = 0;
+};
+
+ParsedAddress parse_address(const std::string& address) {
+  ParsedAddress out;
+  if (address.rfind("unix:", 0) == 0) {
+    out.is_unix = true;
+    out.path = address.substr(5);
+    if (out.path.empty()) {
+      throw std::runtime_error("socket: empty unix path in '" + address + "'");
+    }
+    if (out.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw std::runtime_error("socket: unix path too long in '" + address +
+                               "'");
+    }
+    return out;
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    const std::string rest = address.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+      throw std::runtime_error("socket: expected tcp:host:port in '" + address +
+                               "'");
+    }
+    out.host = rest.substr(0, colon);
+    const long port = std::strtol(rest.c_str() + colon + 1, nullptr, 10);
+    if (port < 0 || port > 65535) {
+      throw std::runtime_error("socket: port out of range in '" + address + "'");
+    }
+    out.port = static_cast<std::uint16_t>(port);
+    return out;
+  }
+  throw std::runtime_error(
+      "socket: address must start with unix: or tcp: — got '" + address + "'");
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write failed");
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void read_all(int fd, std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::read(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("read failed");
+    }
+    if (n == 0) throw std::runtime_error("socket: peer closed mid-frame");
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+// ---- Socket -----------------------------------------------------------------
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::connect(const std::string& address, double timeout_s) {
+  const ParsedAddress parsed = parse_address(address);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (true) {
+    int fd = -1;
+    int rc = -1;
+    if (parsed.is_unix) {
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) fail("socket() failed");
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, parsed.path.c_str(),
+                   sizeof(addr.sun_path) - 1);
+      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    } else {
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) fail("socket() failed");
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(parsed.port);
+      if (::inet_pton(AF_INET, parsed.host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw std::runtime_error("socket: bad tcp host '" + parsed.host + "'");
+      }
+      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    }
+    if (rc == 0) {
+      if (!parsed.is_unix) set_nodelay(fd);
+      return Socket(fd);
+    }
+    const int saved = errno;
+    ::close(fd);
+    // The scheduler may not be listening yet: retry refused/absent endpoints
+    // until the deadline.
+    const bool retryable = saved == ECONNREFUSED || saved == ENOENT;
+    if (!retryable || std::chrono::steady_clock::now() >= deadline) {
+      errno = saved;
+      fail("connect to '" + address + "' failed");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+void Socket::write_frame(const std::vector<std::uint8_t>& bytes) {
+  if (fd_ < 0) throw std::runtime_error("socket: write on closed socket");
+  if (bytes.size() > kMaxFrameBytes) {
+    throw std::runtime_error("socket: frame too large");
+  }
+  std::uint8_t header[4];
+  const auto len = static_cast<std::uint32_t>(bytes.size());
+  header[0] = static_cast<std::uint8_t>(len);
+  header[1] = static_cast<std::uint8_t>(len >> 8);
+  header[2] = static_cast<std::uint8_t>(len >> 16);
+  header[3] = static_cast<std::uint8_t>(len >> 24);
+  write_all(fd_, header, sizeof(header));
+  if (!bytes.empty()) write_all(fd_, bytes.data(), bytes.size());
+}
+
+std::vector<std::uint8_t> Socket::read_frame() {
+  if (fd_ < 0) throw std::runtime_error("socket: read on closed socket");
+  std::uint8_t header[4];
+  read_all(fd_, header, sizeof(header));
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > kMaxFrameBytes) {
+    throw std::runtime_error("socket: incoming frame too large");
+  }
+  std::vector<std::uint8_t> bytes(len);
+  if (len > 0) read_all(fd_, bytes.data(), len);
+  return bytes;
+}
+
+// ---- ServerSocket -----------------------------------------------------------
+
+ServerSocket::~ServerSocket() { close(); }
+
+ServerSocket::ServerSocket(ServerSocket&& other) noexcept
+    : fd_(other.fd_),
+      address_(std::move(other.address_)),
+      unix_path_(std::move(other.unix_path_)) {
+  other.fd_ = -1;
+  other.unix_path_.clear();
+}
+
+ServerSocket& ServerSocket::operator=(ServerSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    address_ = std::move(other.address_);
+    unix_path_ = std::move(other.unix_path_);
+    other.fd_ = -1;
+    other.unix_path_.clear();
+  }
+  return *this;
+}
+
+void ServerSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+ServerSocket ServerSocket::listen(const std::string& address) {
+  const ParsedAddress parsed = parse_address(address);
+  ServerSocket server;
+  if (parsed.is_unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket() failed");
+    ::unlink(parsed.path.c_str());  // replace a stale socket file
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, parsed.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      fail("bind to '" + address + "' failed");
+    }
+    server.fd_ = fd;
+    server.address_ = address;
+    server.unix_path_ = parsed.path;
+  } else {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket() failed");
+    int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(parsed.port);
+    if (::inet_pton(AF_INET, parsed.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      throw std::runtime_error("socket: bad tcp host '" + parsed.host + "'");
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      fail("bind to '" + address + "' failed");
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+        0) {
+      ::close(fd);
+      fail("getsockname failed");
+    }
+    server.fd_ = fd;
+    server.address_ =
+        "tcp:" + parsed.host + ":" + std::to_string(ntohs(bound.sin_port));
+  }
+  if (::listen(server.fd_, 64) != 0) {
+    fail("listen on '" + address + "' failed");
+  }
+  return server;
+}
+
+Socket ServerSocket::accept() {
+  if (fd_ < 0) throw std::runtime_error("socket: accept on closed socket");
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      if (unix_path_.empty()) set_nodelay(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    fail("accept failed");
+  }
+}
+
+}  // namespace score::util

@@ -1,0 +1,245 @@
+// Multi-process control-plane differential tests: 1 scheduler (this test
+// process, acting through RemoteAgentExecutor) + N real score_agent daemons
+// over a loopback unix socket must reproduce the in-process distributed run
+// EXACTLY at loss 0 — same structural trace hash, same final cost, same
+// per-VM allocation. The scenarios cover the canonical paper-scale tree
+// (2560 slots) with an even host partition and a fat-tree k=8 with an uneven
+// one, plus the fingerprint handshake rejecting a daemon built from
+// different flags.
+//
+// The score_agent binary path is injected by CMake as SCORE_AGENT_BIN.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "hypervisor/distributed_runtime.hpp"
+#include "hypervisor/remote_executor.hpp"
+#include "util/socket.hpp"
+#include "world_builder.hpp"
+
+namespace {
+
+using namespace score;
+
+util::Flags parse_world_flags(const std::vector<std::string>& args) {
+  util::Flags flags;
+  tools::register_world_flags(flags);
+  std::vector<const char*> argv;
+  argv.push_back("test_control_plane");
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  EXPECT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  return flags;
+}
+
+/// Spawned score_agent daemons; killed on destruction so a failing test
+/// cannot leave orphans behind.
+class AgentFleet {
+ public:
+  ~AgentFleet() {
+    for (pid_t pid : pids_) kill(pid, SIGKILL);
+    for (pid_t pid : pids_) waitpid(pid, nullptr, 0);
+  }
+
+  void spawn(const std::string& address, const std::vector<std::string>& args) {
+    std::vector<std::string> argv_s = {SCORE_AGENT_BIN, "--connect", address,
+                                       "--connect-timeout", "30"};
+    argv_s.insert(argv_s.end(), args.begin(), args.end());
+    const pid_t pid = fork();
+    ASSERT_NE(pid, -1) << "fork failed";
+    if (pid == 0) {
+      std::vector<char*> argv;
+      for (std::string& s : argv_s) argv.push_back(s.data());
+      argv.push_back(nullptr);
+      execv(SCORE_AGENT_BIN, argv.data());
+      _exit(127);  // exec failed
+    }
+    pids_.push_back(pid);
+  }
+
+  /// Reap every daemon and return their exit codes (-1 = abnormal exit).
+  std::vector<int> wait_all() {
+    std::vector<int> codes;
+    for (pid_t pid : pids_) {
+      int status = 0;
+      waitpid(pid, &status, 0);
+      codes.push_back(WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    }
+    pids_.clear();
+    return codes;
+  }
+
+ private:
+  std::vector<pid_t> pids_;
+};
+
+std::string unique_socket_path(const char* tag) {
+  static int counter = 0;
+  return "/tmp/score_cp_" + std::to_string(getpid()) + "_" + tag + "_" +
+         std::to_string(counter++) + ".sock";
+}
+
+struct MultiProcessRun {
+  hypervisor::RuntimeResult result;
+  std::vector<core::ServerId> final_servers;
+  std::vector<int> agent_exit_codes;
+};
+
+/// Run the distributed loop with `num_agents` real score_agent processes
+/// over a loopback unix socket; the test process is the scheduler.
+MultiProcessRun run_multiprocess(const std::vector<std::string>& world_args,
+                                 std::size_t num_agents, const char* tag) {
+  const std::string path = unique_socket_path(tag);
+  util::ServerSocket server = util::ServerSocket::listen("unix:" + path);
+
+  AgentFleet fleet;
+  for (std::size_t i = 0; i < num_agents; ++i) {
+    fleet.spawn(server.address(), world_args);
+  }
+
+  std::vector<util::Socket> agents;
+  for (std::size_t i = 0; i < num_agents; ++i) {
+    agents.push_back(server.accept());
+  }
+
+  util::Flags flags = parse_world_flags(world_args);
+  tools::World w = tools::build_world(flags);
+  hypervisor::RemoteAgentExecutor executor(std::move(agents), w.fingerprint);
+
+  // When the CI job sets a trace directory, keep the wire trace around as
+  // the on-failure artifact.
+  std::ofstream trace_out;
+  if (const char* dir = std::getenv("SCORE_CP_TRACE_DIR")) {
+    trace_out.open(std::string(dir) + "/wire_" + tag + ".trace");
+    executor.set_wire_tap(
+        [&trace_out](const hypervisor::RemoteAgentExecutor::WireRecord& r) {
+          trace_out << (r.to_agent ? '>' : '<') << ' ' << r.agent << ' '
+                    << r.seq << ' ' << static_cast<int>(r.type) << ' '
+                    << r.bytes << ' ' << std::hex << r.payload_fnv << std::dec
+                    << '\n';
+        });
+  }
+
+  hypervisor::DistributedScoreRuntime runtime(*w.model, *w.alloc, *w.tm,
+                                              w.runtime, executor);
+  MultiProcessRun out;
+  out.result = runtime.run();
+  for (core::VmId vm = 0; vm < w.alloc->num_vms(); ++vm) {
+    out.final_servers.push_back(w.alloc->server_of(vm));
+  }
+  out.agent_exit_codes = fleet.wait_all();
+  return out;
+}
+
+/// The in-process reference: same flags, LocalAgentExecutor.
+MultiProcessRun run_inprocess(const std::vector<std::string>& world_args) {
+  util::Flags flags = parse_world_flags(world_args);
+  tools::World w = tools::build_world(flags);
+  hypervisor::DistributedScoreRuntime runtime(*w.model, *w.alloc, *w.tm,
+                                              w.runtime);
+  MultiProcessRun out;
+  out.result = runtime.run();
+  for (core::VmId vm = 0; vm < w.alloc->num_vms(); ++vm) {
+    out.final_servers.push_back(w.alloc->server_of(vm));
+  }
+  return out;
+}
+
+void expect_identical(const MultiProcessRun& mp, const MultiProcessRun& ref,
+                      std::size_t num_agents) {
+  // Every daemon must have finished its serve loop cleanly (kFinal accepted).
+  ASSERT_EQ(mp.agent_exit_codes.size(), num_agents);
+  for (std::size_t i = 0; i < num_agents; ++i) {
+    EXPECT_EQ(mp.agent_exit_codes[i], 0) << "agent " << i << " failed";
+  }
+
+  // Identical event schedule => identical structural trace.
+  EXPECT_EQ(mp.result.trace_hash, ref.result.trace_hash);
+  EXPECT_EQ(mp.result.final_epoch, ref.result.final_epoch);
+  EXPECT_EQ(mp.result.final_ring_pos, ref.result.final_ring_pos);
+  EXPECT_EQ(mp.result.total_migrations, ref.result.total_migrations);
+
+  // The acceptance bound is 1%; with the hash equal the costs are in fact
+  // bit-identical, so assert the stronger property.
+  EXPECT_EQ(mp.result.final_cost, ref.result.final_cost);
+  EXPECT_NEAR(mp.result.final_cost, ref.result.final_cost,
+              0.01 * ref.result.final_cost);
+
+  ASSERT_EQ(mp.final_servers.size(), ref.final_servers.size());
+  std::size_t mismatched = 0;
+  for (std::size_t vm = 0; vm < ref.final_servers.size(); ++vm) {
+    if (mp.final_servers[vm] != ref.final_servers[vm]) ++mismatched;
+  }
+  EXPECT_EQ(mismatched, 0u) << "final allocations diverge";
+}
+
+TEST(ControlPlane, CanonicalPaperScaleMatchesInProcess) {
+  // 128 racks x 5 hosts x 4 slots = 2560 slots (the paper's data-center
+  // scale), 1024 VMs, 4 agents owning 160 hosts each.
+  const std::vector<std::string> args = {
+      "--racks", "128", "--vms", "1024", "--iterations", "2"};
+  const MultiProcessRun mp = run_multiprocess(args, 4, "canonical");
+  const MultiProcessRun ref = run_inprocess(args);
+  expect_identical(mp, ref, 4);
+  EXPECT_LT(mp.result.final_cost, mp.result.initial_cost);
+}
+
+TEST(ControlPlane, FatTreeUnevenPartitionMatchesInProcess) {
+  // Fat-tree k=8 has 128 hosts; 5 agents force an uneven host partition
+  // (26,26,26,25,25), exercising the remainder assignment and cross-agent
+  // kApply ordering.
+  const std::vector<std::string> args = {
+      "--topology", "fattree", "--k", "8", "--vms", "320", "--iterations", "2"};
+  const MultiProcessRun mp = run_multiprocess(args, 5, "fattree");
+  const MultiProcessRun ref = run_inprocess(args);
+  expect_identical(mp, ref, 5);
+  EXPECT_LT(mp.result.final_cost, mp.result.initial_cost);
+}
+
+TEST(ControlPlane, MigrationBudgetMatchesInProcess) {
+  // A tight migration budget exercises kBudgetReject replication (the
+  // consumed-RNG-draw bookkeeping) across the process boundary.
+  const std::vector<std::string> args = {"--vms",        "256", "--iterations",
+                                         "2",            "--budget-mb", "2048"};
+  const MultiProcessRun mp = run_multiprocess(args, 4, "budget");
+  const MultiProcessRun ref = run_inprocess(args);
+  expect_identical(mp, ref, 4);
+}
+
+TEST(ControlPlane, FingerprintMismatchIsRejected) {
+  const std::string path = unique_socket_path("mismatch");
+  util::ServerSocket server = util::ServerSocket::listen("unix:" + path);
+
+  AgentFleet fleet;
+  // The daemon builds a 64-VM world; the scheduler expects 32 VMs.
+  fleet.spawn(server.address(), {"--vms", "64", "--iterations", "1"});
+
+  std::vector<util::Socket> agents;
+  agents.push_back(server.accept());
+
+  util::Flags flags = parse_world_flags({"--vms", "32", "--iterations", "1"});
+  tools::World w = tools::build_world(flags);
+  {
+    // Scoped so the executor's socket closes before the daemon is reaped —
+    // the daemon only learns the handshake failed when its peer hangs up.
+    hypervisor::RemoteAgentExecutor executor(std::move(agents), w.fingerprint);
+    hypervisor::DistributedScoreRuntime runtime(*w.model, *w.alloc, *w.tm,
+                                                w.runtime, executor);
+    EXPECT_THROW(runtime.run(), std::exception);
+  }
+
+  // The daemon dies too (its socket closes mid-handshake), with a non-zero
+  // exit either way.
+  const std::vector<int> codes = fleet.wait_all();
+  ASSERT_EQ(codes.size(), 1u);
+  EXPECT_NE(codes[0], 0);
+}
+
+}  // namespace

@@ -21,6 +21,20 @@
 #include "topology/canonical_tree.hpp"
 #include "topology/fat_tree.hpp"
 
+#ifdef SCORE_AGENT_BIN
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <vector>
+
+#include "hypervisor/distributed_runtime.hpp"
+#include "hypervisor/remote_executor.hpp"
+#include "hypervisor/wire.hpp"
+#include "util/socket.hpp"
+#include "world_builder.hpp"
+#endif
+
 namespace score {
 namespace {
 
@@ -163,6 +177,108 @@ TEST(GoldenTraces, FatTreeDistributedZeroLoss) {
   check_or_regen("fattree-distributed-loss0",
                  render("fattree-distributed-loss0", engine.run()));
 }
+
+#ifdef SCORE_AGENT_BIN
+// Multi-process control plane: a scheduler (this test) drives two real
+// score_agent daemons over a loopback socket and the task-protocol byte
+// stream is summarized per frame type plus a rolling hash over every frame
+// (direction, agent, seq, type, length, payload FNV). Any protocol drift —
+// an extra sync, a reordered action, a changed encoding — moves wire_fnv
+// even when the convergence result is unchanged.
+TEST(GoldenTraces, ControlPlaneWireTrace) {
+  const std::vector<std::string> world_args = {"--topology", "fattree", "--k",
+                                               "4", "--vms", "48",
+                                               "--iterations", "2"};
+  const std::string path =
+      "/tmp/score_golden_" + std::to_string(getpid()) + ".sock";
+  util::ServerSocket server = util::ServerSocket::listen("unix:" + path);
+
+  std::vector<pid_t> pids;
+  for (int i = 0; i < 2; ++i) {
+    const pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+      std::vector<std::string> argv_s = {SCORE_AGENT_BIN, "--connect",
+                                         server.address(), "--connect-timeout",
+                                         "30"};
+      argv_s.insert(argv_s.end(), world_args.begin(), world_args.end());
+      std::vector<char*> argv;
+      for (std::string& s : argv_s) argv.push_back(s.data());
+      argv.push_back(nullptr);
+      execv(SCORE_AGENT_BIN, argv.data());
+      _exit(127);
+    }
+    pids.push_back(pid);
+  }
+
+  std::vector<util::Socket> agents;
+  agents.push_back(server.accept());
+  agents.push_back(server.accept());
+
+  util::Flags flags;
+  tools::register_world_flags(flags);
+  std::vector<const char*> argv = {"test_golden_traces"};
+  for (const std::string& a : world_args) argv.push_back(a.c_str());
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  tools::World w = tools::build_world(flags);
+
+  hypervisor::RemoteAgentExecutor executor(std::move(agents), w.fingerprint);
+  // Per-type frame statistics + one rolling FNV over every record.
+  struct TypeStat {
+    std::uint64_t to_count = 0, to_bytes = 0, from_count = 0, from_bytes = 0;
+  };
+  TypeStat stats[9];
+  std::uint64_t wire_fnv = hypervisor::wire::fnv1a_bytes({});
+  std::uint64_t frames = 0;
+  executor.set_wire_tap(
+      [&](const hypervisor::RemoteAgentExecutor::WireRecord& r) {
+        TypeStat& s = stats[static_cast<int>(r.type)];
+        (r.to_agent ? s.to_count : s.from_count) += 1;
+        (r.to_agent ? s.to_bytes : s.from_bytes) += r.bytes;
+        ++frames;
+        wire_fnv = hypervisor::wire::fnv1a(wire_fnv, r.to_agent ? 1 : 0);
+        wire_fnv = hypervisor::wire::fnv1a(wire_fnv, r.agent);
+        wire_fnv = hypervisor::wire::fnv1a(wire_fnv, r.seq);
+        wire_fnv = hypervisor::wire::fnv1a(
+            wire_fnv, static_cast<std::uint64_t>(r.type));
+        wire_fnv = hypervisor::wire::fnv1a(wire_fnv, r.bytes);
+        wire_fnv = hypervisor::wire::fnv1a(wire_fnv, r.payload_fnv);
+      });
+
+  hypervisor::DistributedScoreRuntime runtime(*w.model, *w.alloc, *w.tm,
+                                              w.runtime, executor);
+  const hypervisor::RuntimeResult result = runtime.run();
+  for (const pid_t pid : pids) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+
+  static const char* kTypeNames[9] = {"?",       "hello", "init",  "deliver",
+                                      "timer",   "apply", "shutdown",
+                                      "result",  "final"};
+  std::ostringstream out;
+  out << "score-golden v1\n";
+  out << "case control-plane-wire\n";
+  out << "world fattree-k4 vms 48 iterations 2 agents 2\n";
+  out << "frames " << frames << "\n";
+  for (int t = 1; t <= 8; ++t) {
+    out << "type " << kTypeNames[t] << " to " << stats[t].to_count << ' '
+        << stats[t].to_bytes << " from " << stats[t].from_count << ' '
+        << stats[t].from_bytes << "\n";
+  }
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(wire_fnv));
+  out << "wire_fnv " << hex << "\n";
+  out << "final_cost " << fmt6(result.final_cost) << " migrations "
+      << result.total_migrations << "\n";
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(result.trace_hash));
+  out << "trace_hash " << hex << "\n";
+  check_or_regen("control-plane-wire", out.str());
+}
+#endif  // SCORE_AGENT_BIN
 
 // The exported v2 world snapshot is part of the golden contract too: it is
 // the replay seed for the runs above, so format drift must be deliberate.

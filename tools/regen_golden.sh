@@ -21,7 +21,8 @@ if [ ! -d "$repo_root/$build_dir" ] && [ ! -d "$build_dir" ]; then
 fi
 cd "$repo_root"
 
-cmake --build "$build_dir" -j --target test_golden_traces
+# score_agent serves the multi-process control-plane wire-trace golden.
+cmake --build "$build_dir" -j --target test_golden_traces --target score_agent
 
 echo "regen_golden: re-blessing tests/golden/ ..."
 SCORE_REGEN_GOLDEN=1 "$build_dir/tests/test_golden_traces"

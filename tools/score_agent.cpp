@@ -1,0 +1,60 @@
+// score_agent — the per-host-range dom0 agent daemon of the multi-process
+// control plane.
+//
+// Builds its world replica from the same flags as the scheduler, connects to
+// the scheduler's listen address (retrying while the scheduler is still
+// starting), then serves framed tasks until shutdown. One process typically
+// owns a contiguous range of hosts (assigned by the scheduler at kInit), so
+// "1 scheduler + N agents" partitions the data center among N daemons.
+//
+// Example (4 agents over a unix socket):
+//   score_scheduler --listen unix:/tmp/score.sock --agents 4 --vms 1024 &
+//   for i in 1 2 3 4; do score_agent --connect unix:/tmp/score.sock --vms 1024 & done
+//
+// Every world flag must match the scheduler's invocation exactly — the
+// fingerprint handshake turns any mismatch into an immediate error instead
+// of a silently divergent run.
+#include <iostream>
+
+#include "hypervisor/agent_daemon.hpp"
+#include "util/flags.hpp"
+#include "util/socket.hpp"
+#include "world_builder.hpp"
+
+int main(int argc, char** argv) {
+  using namespace score;
+
+  util::Flags flags;
+  tools::register_world_flags(flags);
+  flags.add_string("connect", "",
+                   "scheduler address to connect to (unix:/path or "
+                   "tcp:host:port); required");
+  flags.add_double("connect-timeout", 10.0,
+                   "seconds to keep retrying the connect while the scheduler "
+                   "starts up");
+
+  try {
+    if (!flags.parse(argc, argv)) {
+      std::cout << flags.help("score_agent");
+      return 0;
+    }
+    if (flags.get_string("connect").empty()) {
+      throw std::invalid_argument("--connect is required");
+    }
+
+    tools::World w = tools::build_world(flags);
+    hypervisor::AgentDaemon daemon(*w.model, *w.alloc, *w.tm, w.runtime);
+
+    util::Socket socket = util::Socket::connect(
+        flags.get_string("connect"), flags.get_double("connect-timeout"));
+    const std::size_t tasks = daemon.serve(socket);
+    std::cout << "score_agent: run complete, " << tasks << " tasks served\n";
+    return 0;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "score_agent: " << e.what() << " (--help for usage)\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "score_agent: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -7,6 +7,13 @@
 // cost-vs-time series as CSV — enough to reproduce any of the paper's
 // simulation figures at arbitrary scales without writing code.
 //
+// World construction is shared with score_scheduler / score_agent
+// (world_builder.hpp), so a score_cli invocation and a multi-process run
+// with the same flags operate on bit-identical worlds.
+//
+// Flag errors (unknown flags, bad values, combinations that contradict the
+// selected mode) print a one-line diagnostic and exit 2.
+//
 // Examples:
 //   score_cli --topology fattree --k 8 --vms 256 --policy hlf --ga
 //   score_cli --topology canonical --racks 128 --hosts-per-rack 20
@@ -22,61 +29,62 @@
 #include "baselines/ga_optimizer.hpp"
 #include "baselines/placement.hpp"
 #include "core/metrics.hpp"
+#include "core/scenario_io.hpp"
+#include "core/token_policy.hpp"
 #include "driver/continuous.hpp"
 #include "driver/convergence.hpp"
 #include "driver/multi_token.hpp"
-#include "core/scenario_io.hpp"
 #include "driver/simulation.hpp"
-#include "core/token_policy.hpp"
 #include "hypervisor/distributed_runtime.hpp"
-#include "topology/canonical_tree.hpp"
-#include "topology/fat_tree.hpp"
-#include "topology/leaf_spine.hpp"
-#include "traffic/generator.hpp"
 #include "util/csv.hpp"
 #include "util/exec_policy.hpp"
 #include "util/flags.hpp"
+#include "world_builder.hpp"
 
 namespace {
 
 using namespace score;
 
-std::unique_ptr<topo::Topology> make_topology(const util::Flags& flags) {
-  if (flags.get_string("topology") == "fattree") {
-    topo::FatTreeConfig cfg;
-    cfg.k = static_cast<std::size_t>(flags.get_int("k"));
-    return std::make_unique<topo::FatTree>(cfg);
-  }
-  if (flags.get_string("topology") == "leafspine") {
-    topo::LeafSpineConfig cfg;
-    cfg.leaves = static_cast<std::size_t>(flags.get_int("racks"));
-    cfg.hosts_per_leaf = static_cast<std::size_t>(flags.get_int("hosts-per-rack"));
-    cfg.spines = static_cast<std::size_t>(flags.get_int("cores"));
-    return std::make_unique<topo::LeafSpine>(cfg);
-  }
-  if (flags.get_string("topology") == "canonical") {
-    topo::CanonicalTreeConfig cfg;
-    cfg.racks = static_cast<std::size_t>(flags.get_int("racks"));
-    cfg.hosts_per_rack = static_cast<std::size_t>(flags.get_int("hosts-per-rack"));
-    cfg.racks_per_pod = static_cast<std::size_t>(flags.get_int("racks-per-pod"));
-    cfg.cores = static_cast<std::size_t>(flags.get_int("cores"));
-    return std::make_unique<topo::CanonicalTree>(cfg);
-  }
-  throw std::invalid_argument("--topology must be canonical, fattree or leafspine");
+/// The effective mode, honoring the deprecated --distributed alias.
+std::string effective_mode(const util::Flags& flags) {
+  return flags.get_bool("distributed") ? "distributed"
+                                       : flags.get_string("mode");
 }
 
-traffic::Intensity parse_intensity(const std::string& name) {
-  if (name == "sparse") return traffic::Intensity::kSparse;
-  if (name == "medium") return traffic::Intensity::kMedium;
-  if (name == "dense") return traffic::Intensity::kDense;
-  throw std::invalid_argument("--intensity must be sparse, medium or dense");
-}
-
-baselines::PlacementStrategy parse_placement(const std::string& name) {
-  if (name == "random") return baselines::PlacementStrategy::kRandom;
-  if (name == "round-robin") return baselines::PlacementStrategy::kRoundRobin;
-  if (name == "packed") return baselines::PlacementStrategy::kPacked;
-  throw std::invalid_argument("--placement must be random, round-robin or packed");
+/// Reject flag combinations that contradict the selected mode, with a
+/// one-line diagnostic naming both the flag and the mode it needs. Only
+/// flags the user actually passed are checked — defaults never conflict.
+void validate_mode_combos(const util::Flags& flags) {
+  const std::string mode = effective_mode(flags);
+  if (mode != "centralized" && mode != "distributed" && mode != "continuous") {
+    throw std::invalid_argument(
+        "--mode must be centralized, distributed or continuous");
+  }
+  const auto require = [&](const char* flag, bool ok, const char* needs) {
+    if (flags.is_set(flag) && !ok) {
+      throw std::invalid_argument(std::string("--") + flag +
+                                  " is incompatible with --mode " + mode +
+                                  " (requires " + needs + ")");
+    }
+  };
+  const bool dist = mode == "distributed";
+  const bool cont = mode == "continuous";
+  // Failure model and trace hash live in the message-passing runtime
+  // (continuous mode embeds it per epoch).
+  require("loss", dist || cont, "--mode distributed or continuous");
+  require("budget-mb", dist || cont, "--mode distributed or continuous");
+  require("trace", dist || cont, "--mode distributed or continuous");
+  // Multi-token parallelism and the GA normaliser are centralized-loop
+  // features (continuous mode reuses the multi-token walk).
+  require("tokens", !dist, "--mode centralized or continuous");
+  require("threads", !dist, "--mode centralized or continuous");
+  require("ga", !dist && !cont, "--mode centralized");
+  // Continuous-mode-only knobs.
+  require("epochs", cont, "--mode continuous");
+  require("tenant-vms", cont, "--mode continuous");
+  require("arrival-prob", cont, "--mode continuous");
+  require("departure-prob", cont, "--mode continuous");
+  require("lifecycle-seed", cont, "--mode continuous");
 }
 
 // Continuous-operation mode: VM lifecycle churn over dynamic traffic epochs,
@@ -88,21 +96,21 @@ int run_continuous(const topo::Topology& topology, const util::Flags& flags) {
   cfg.generator.num_vms = static_cast<std::size_t>(flags.get_int("vms"));
   cfg.generator.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   cfg.dynamics.seed = cfg.generator.seed + 1;
-  cfg.intensity_scale =
-      traffic::intensity_scale(parse_intensity(flags.get_string("intensity")));
+  cfg.intensity_scale = traffic::intensity_scale(
+      tools::parse_intensity(flags.get_string("intensity")));
   cfg.epochs = static_cast<std::size_t>(flags.get_int("epochs"));
   cfg.tenant_vms = static_cast<std::size_t>(flags.get_int("tenant-vms"));
   cfg.arrival_prob = flags.get_double("arrival-prob");
   cfg.departure_prob = flags.get_double("departure-prob");
   cfg.lifecycle_seed = static_cast<std::uint64_t>(flags.get_int("lifecycle-seed"));
-  cfg.placement = parse_placement(flags.get_string("placement"));
+  cfg.placement = tools::parse_placement(flags.get_string("placement"));
   cfg.server_capacity.vm_slots = static_cast<std::size_t>(flags.get_int("slots"));
   cfg.server_capacity.ram_mb = static_cast<double>(cfg.server_capacity.vm_slots) * 256.0;
   cfg.server_capacity.cpu_cores = static_cast<double>(cfg.server_capacity.vm_slots);
   cfg.iterations_per_epoch = static_cast<std::size_t>(flags.get_int("iterations"));
   cfg.engine.migration_cost = flags.get_double("cm");
   cfg.tokens = static_cast<std::size_t>(flags.get_int("tokens"));
-  const int threads = flags.get_int("threads");
+  const int threads = static_cast<int>(flags.get_int("threads"));
   cfg.exec = threads > 0 ? util::ExecPolicy::par(static_cast<std::size_t>(threads))
                          : util::ExecPolicy::seq();
   if (flags.get_bool("distributed")) {
@@ -169,24 +177,11 @@ int run_continuous(const topo::Topology& topology, const util::Flags& flags) {
 
 int main(int argc, char** argv) {
   util::Flags flags;
-  flags.add_string("topology", "canonical", "canonical | fattree | leafspine");
-  flags.add_int("racks", 32, "canonical tree: number of racks");
-  flags.add_int("hosts-per-rack", 5, "canonical tree: hosts per rack");
-  flags.add_int("racks-per-pod", 4, "canonical tree: racks per aggregation pod");
-  flags.add_int("cores", 4, "canonical tree: core switches");
-  flags.add_int("k", 8, "fat-tree arity (even)");
-  flags.add_int("vms", 320, "fleet size");
-  flags.add_int("slots", 4, "VM slots per server");
-  flags.add_string("intensity", "sparse", "sparse | medium (x10) | dense (x50)");
-  flags.add_int("seed", 42, "workload / placement seed");
-  flags.add_string("placement", "random", "initial placement: random | round-robin | packed");
-  flags.add_string("policy", "hlf", "token policy: rr | hlf | random | htf");
+  tools::register_world_flags(flags);
   flags.add_int("tokens", 1, "concurrent tokens (>1 uses the multi-token extension, RR order)");
   flags.add_int("threads", 0,
                 "worker threads for multi-token shard walks (0 = sequential; "
                 "results are identical for every thread count)");
-  flags.add_int("iterations", 8, "max token-passing iterations");
-  flags.add_double("cm", 0.0, "migration cost c_m (cost units)");
   flags.add_bool("ga", false, "also run the GA normaliser and report the ratio");
   flags.add_string("mode", "centralized",
                    "execution mode: centralized (shared-memory loop) | "
@@ -204,10 +199,6 @@ int main(int argc, char** argv) {
   flags.add_bool("series", false, "print the cost-vs-time series as CSV");
   flags.add_string("save", "", "write the generated scenario snapshot to this file");
   flags.add_string("load", "", "load the scenario from a snapshot instead of generating");
-  flags.add_double("loss", 0.0, "control-message loss rate (distributed mode only)");
-  flags.add_double("budget-mb", 0.0,
-                   "migration-cost budget: total modeled pre-copy MB "
-                   "(0 = unlimited; distributed mode only)");
   flags.add_bool("trace", false,
                  "print the wire-trace hash (determinism seam; distributed "
                  "mode only)");
@@ -217,37 +208,23 @@ int main(int argc, char** argv) {
       std::cout << flags.help("score_cli");
       return 0;
     }
+    validate_mode_combos(flags);
 
-    auto topology = make_topology(flags);
-
-    if (flags.get_string("mode") == "continuous") {
+    if (effective_mode(flags) == "continuous") {
+      auto topology = tools::make_topology(flags);
       return run_continuous(*topology, flags);
     }
 
-    core::CostModel model(*topology,
-                          core::LinkWeights::exponential(topology->max_level()));
+    tools::World w = tools::build_world(flags);
+    const core::CostModel& model = *w.model;
+    traffic::TrafficMatrix& tm = *w.tm;
+    core::Allocation& alloc = *w.alloc;
 
-    traffic::GeneratorConfig gen;
-    gen.num_vms = static_cast<std::size_t>(flags.get_int("vms"));
-    gen.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-    auto tm = traffic::generate_traffic(gen, parse_intensity(flags.get_string("intensity")));
-
-    core::ServerCapacity cap;
-    cap.vm_slots = static_cast<std::size_t>(flags.get_int("slots"));
-    cap.ram_mb = static_cast<double>(cap.vm_slots) * 256.0;
-    cap.cpu_cores = static_cast<double>(cap.vm_slots);
-    util::Rng rng(gen.seed + 1);
-    core::Allocation alloc =
-        flags.get_string("load").empty()
-            ? baselines::make_allocation(
-                  *topology, cap, gen.num_vms, core::VmSpec{},
-                  parse_placement(flags.get_string("placement")), rng)
-            : core::Allocation(1, core::ServerCapacity{});  // replaced below
     if (!flags.get_string("load").empty()) {
       std::ifstream in(flags.get_string("load"));
       if (!in) throw std::runtime_error("cannot open " + flags.get_string("load"));
       core::Scenario s = core::load_scenario(in);
-      if (s.allocation.num_servers() != topology->num_hosts()) {
+      if (s.allocation.num_servers() != w.topology->num_hosts()) {
         throw std::runtime_error("snapshot server count does not match the topology");
       }
       alloc = std::move(s.allocation);
@@ -260,30 +237,11 @@ int main(int argc, char** argv) {
       std::cout << "scenario written to " << flags.get_string("save") << "\n";
     }
 
-    core::EngineConfig ecfg;
-    ecfg.migration_cost = flags.get_double("cm");
-    core::MigrationEngine engine(model, ecfg);
-
-    const std::string mode = flags.get_bool("distributed")
-                                 ? "distributed"
-                                 : flags.get_string("mode");
-    if (mode != "centralized" && mode != "distributed") {
-      throw std::invalid_argument(
-          "--mode must be centralized, distributed or continuous");
-    }
+    core::MigrationEngine engine(model, w.runtime.engine);
 
     driver::SimResult result;
-    if (mode == "distributed") {
-      hypervisor::RuntimeConfig rcfg;
-      rcfg.policy = flags.get_string("policy") == "rr" ||
-                            flags.get_string("policy") == "round-robin"
-                        ? "round-robin"
-                        : "highest-level-first";
-      rcfg.engine = ecfg;
-      rcfg.iterations = static_cast<std::size_t>(flags.get_int("iterations"));
-      rcfg.message_loss_rate = flags.get_double("loss");
-      rcfg.migration_budget_mb = flags.get_double("budget-mb");
-      hypervisor::DistributedScoreRuntime runtime(model, alloc, tm, rcfg);
+    if (effective_mode(flags) == "distributed") {
+      hypervisor::DistributedScoreRuntime runtime(model, alloc, tm, w.runtime);
       const hypervisor::RuntimeResult r = runtime.run();
       const driver::ConvergenceReport rep = r.report();
       std::cout << rep.mode << " S-CORE: cost " << rep.initial_cost << " -> "
@@ -320,14 +278,16 @@ int main(int argc, char** argv) {
       driver::MultiTokenConfig mcfg;
       mcfg.tokens = static_cast<std::size_t>(flags.get_int("tokens"));
       mcfg.iterations = static_cast<std::size_t>(flags.get_int("iterations"));
-      const int threads = flags.get_int("threads");
+      const int threads = static_cast<int>(flags.get_int("threads"));
       mcfg.policy = threads > 0
                         ? util::ExecPolicy::par(static_cast<std::size_t>(threads))
                         : util::ExecPolicy::seq();
       driver::MultiTokenSimulation sim(engine, alloc, tm);
       result = sim.run(mcfg);
     } else {
-      auto policy = core::make_policy(flags.get_string("policy"), gen.seed);
+      auto policy = core::make_policy(
+          flags.get_string("policy"),
+          static_cast<std::uint64_t>(flags.get_int("seed")));
       driver::SimConfig scfg;
       scfg.iterations = static_cast<std::size_t>(flags.get_int("iterations"));
       driver::ScoreSimulation sim(engine, *policy, alloc, tm);
@@ -341,7 +301,7 @@ int main(int argc, char** argv) {
               << rep.rounds << " rounds, " << rep.duration_s
               << " s simulated\n";
 
-    const auto loads = core::link_loads_for(*topology, alloc, tm);
+    const auto loads = core::link_loads_for(*w.topology, alloc, tm);
     std::cout << "max utilisation after: core " << loads.max_utilization(3)
               << ", aggregation " << loads.max_utilization(2) << ", ToR "
               << loads.max_utilization(1) << "\n";
@@ -353,10 +313,15 @@ int main(int argc, char** argv) {
       gcfg.stop_window = 20;
       baselines::GaOptimizer ga(model, gcfg);
       // Normalise against the same starting state.
-      util::Rng rng2(gen.seed + 1);
+      core::ServerCapacity cap;
+      cap.vm_slots = static_cast<std::size_t>(flags.get_int("slots"));
+      cap.ram_mb = static_cast<double>(cap.vm_slots) * 256.0;
+      cap.cpu_cores = static_cast<double>(cap.vm_slots);
+      util::Rng rng2(static_cast<std::uint64_t>(flags.get_int("seed")) + 1);
       core::Allocation fresh = baselines::make_allocation(
-          *topology, cap, gen.num_vms, core::VmSpec{},
-          parse_placement(flags.get_string("placement")), rng2);
+          *w.topology, cap, static_cast<std::size_t>(flags.get_int("vms")),
+          core::VmSpec{}, tools::parse_placement(flags.get_string("placement")),
+          rng2);
       const auto ga_res = ga.optimize(fresh, tm);
       std::cout << "GA normaliser: cost " << ga_res.best_cost << " ("
                 << ga_res.generations_run << " generations); S-CORE/GA ratio "
@@ -371,8 +336,11 @@ int main(int argc, char** argv) {
       }
     }
     return 0;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "score_cli: " << e.what() << " (--help for usage)\n";
+    return 2;
   } catch (const std::exception& e) {
-    std::cerr << "score_cli: " << e.what() << "\n\n" << flags.help("score_cli");
+    std::cerr << "score_cli: " << e.what() << "\n";
     return 1;
   }
 }
