@@ -5,16 +5,88 @@
 
 namespace score::core {
 
+CachedCostModel::~CachedCostModel() { detach(); }
+
+// Copies start unbound: a copy cannot inherit the source's observer
+// registration, and an unregistered cache holding container pointers it will
+// never hear about again is a lifetime hazard (it could not learn of the
+// matrix's destruction). Bind the copy explicitly to use it incrementally.
+CachedCostModel::CachedCostModel(const CachedCostModel& other)
+    : CostModel(other) {}
+
+CachedCostModel& CachedCostModel::operator=(const CachedCostModel& other) {
+  if (this == &other) return *this;
+  detach();
+  CostModel::operator=(other);
+  alloc_ = nullptr;
+  tm_ = nullptr;
+  alloc_version_ = 0;
+  tm_version_ = 0;
+  pending_rebuild_ = false;
+  total_ = 0.0;
+  vm_cost_.clear();
+  rebuilds_ = 0;
+  incremental_updates_ = 0;
+  deltas_folded_ = 0;
+  return *this;
+}
+
+void CachedCostModel::detach() {
+  if (tm_) tm_->remove_observer(this);
+}
+
 void CachedCostModel::bind(const Allocation& alloc,
                            const traffic::TrafficMatrix& tm) {
+  // Always rebuild, even when re-binding the already-bound pair: Allocation
+  // assignment copies the version verbatim, so a re-snapshotted allocation
+  // can collide with the cached version while holding different contents.
+  // The streaming win comes from *staying* bound between deltas, not from
+  // cheap rebinds.
+  if (tm_ && tm_ != &tm) detach();
+  tm.add_observer(this);  // idempotent
   alloc_ = &alloc;
   tm_ = &tm;
+  pending_rebuild_ = false;
   rebuild();
 }
 
 void CachedCostModel::unbind() {
+  detach();
   alloc_ = nullptr;
   tm_ = nullptr;
+  pending_rebuild_ = false;
+  vm_cost_.clear();
+  total_ = 0.0;
+}
+
+void CachedCostModel::on_rate_change(traffic::VmId u, traffic::VmId v,
+                                     double old_rate, double new_rate) {
+  if (pending_rebuild_) return;  // already dirty; the next query rebuilds
+  if (alloc_version_ != alloc_->version()) {
+    // The allocation moved out-of-band since our last sync, so the level we
+    // would fold with may be stale. Defer to a rebuild rather than guess.
+    pending_rebuild_ = true;
+    return;
+  }
+  // Both endpoints' pair cost changes by the same amount (the pair's cost
+  // counts once in each endpoint's Eq. (1) sum and once in Eq. (2)).
+  const int lvl = level(*alloc_, u, v);
+  const double d = pair_cost(new_rate, lvl) - pair_cost(old_rate, lvl);
+  vm_cost_[u] += d;
+  vm_cost_[v] += d;
+  total_ += d;
+  tm_version_ = tm_->version();
+  ++deltas_folded_;
+  verify_cache();
+}
+
+void CachedCostModel::on_bulk_update() { pending_rebuild_ = true; }
+
+void CachedCostModel::on_matrix_destroyed() {
+  // The matrix deregisters us itself — just drop the binding.
+  alloc_ = nullptr;
+  tm_ = nullptr;
+  pending_rebuild_ = false;
   vm_cost_.clear();
   total_ = 0.0;
 }
@@ -35,11 +107,13 @@ void CachedCostModel::rebuild() const {
   }
   alloc_version_ = alloc_->version();
   tm_version_ = tm_->version();
+  pending_rebuild_ = false;
   ++rebuilds_;
 }
 
 void CachedCostModel::sync() const {
-  if (alloc_version_ != alloc_->version() || tm_version_ != tm_->version()) {
+  if (pending_rebuild_ || alloc_version_ != alloc_->version() ||
+      tm_version_ != tm_->version()) {
     rebuild();
   }
 }

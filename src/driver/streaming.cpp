@@ -1,0 +1,181 @@
+#include "driver/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "core/cached_cost_model.hpp"
+#include "core/token_policy.hpp"
+#include "driver/multi_token.hpp"
+#include "driver/simulation.hpp"
+#include "traffic/traffic_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace score::driver {
+
+DriftTrigger::DriftTrigger(double threshold) : threshold_(threshold) {
+  if (threshold < 0.0) {
+    throw std::invalid_argument("DriftTrigger: negative threshold");
+  }
+}
+
+double DriftTrigger::drift(double current_cost) const {
+  const double diff = std::abs(current_cost - baseline_);
+  if (baseline_ > 0.0) return diff / baseline_;
+  return diff > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+}
+
+double StreamingReport::max_cost_ratio() const {
+  double worst = final_fresh_cost > 0.0 ? final_cost / final_fresh_cost : 1.0;
+  for (const ReoptEvent& ev : reopts) worst = std::max(worst, ev.cost_ratio());
+  return worst;
+}
+
+namespace {
+
+struct ReoptStats {
+  std::size_t migrations = 0;
+  std::size_t rounds = 0;
+};
+
+// One drift-triggered re-optimisation on the live state: the paper's
+// incremental adaptation step, through either execution mode.
+ReoptStats run_reopt(const core::CachedCostModel& model,
+                     const core::MigrationEngine& engine,
+                     core::Allocation& alloc, const traffic::TrafficMatrix& tm,
+                     const StreamingConfig& config) {
+  ReoptStats stats;
+  if (config.mode == "distributed") {
+    hypervisor::RuntimeConfig rcfg = config.runtime;
+    rcfg.engine = config.engine;
+    rcfg.iterations = config.iterations_per_reopt;
+    hypervisor::DistributedScoreRuntime runtime(model, alloc, tm, rcfg);
+    const hypervisor::RuntimeResult res = runtime.run();
+    stats.migrations = res.total_migrations;
+    stats.rounds = res.rounds();
+  } else {
+    MultiTokenConfig mcfg;
+    mcfg.tokens = std::max<std::size_t>(1, config.tokens);
+    mcfg.iterations = config.iterations_per_reopt;
+    mcfg.stop_when_stable = true;
+    mcfg.policy = config.exec;
+    MultiTokenSimulation sim(engine, alloc, tm);
+    const SimResult res = sim.run(mcfg);
+    stats.migrations = res.total_migrations;
+    stats.rounds = res.iterations.size();
+  }
+  return stats;
+}
+
+// Fresh-placement reference: what starting over on this matrix would achieve.
+double fresh_reference_cost(const topo::Topology& topology,
+                            const traffic::TrafficMatrix& tm,
+                            const StreamingConfig& config,
+                            std::uint64_t salt) {
+  util::Rng rng(config.placement_seed * 104729ull + salt);
+  core::Allocation fresh =
+      baselines::make_allocation(topology, config.server_capacity, tm.num_vms(),
+                                 config.vm_spec, config.placement, rng);
+  const core::LinkWeights weights =
+      core::LinkWeights::exponential(topology.max_level());
+  core::CachedCostModel model(topology, weights);
+  model.bind(fresh, tm);
+  core::MigrationEngine engine(model, config.engine);
+  core::RoundRobinPolicy rr;
+  SimConfig scfg;
+  scfg.iterations = config.reopt_iterations;
+  scfg.stop_when_stable = true;
+  ScoreSimulation reopt(engine, rr, fresh, tm);
+  return reopt.run(scfg).final_cost;
+}
+
+}  // namespace
+
+StreamingEngine::StreamingEngine(const topo::Topology& topology,
+                                 StreamingConfig config)
+    : topology_(&topology), config_(std::move(config)) {
+  if (config_.generator.num_vms < 2) {
+    throw std::invalid_argument("StreamingEngine: need at least 2 VMs");
+  }
+  if (config_.mode != "centralized" && config_.mode != "distributed") {
+    throw std::invalid_argument("StreamingEngine: mode must be centralized "
+                                "or distributed");
+  }
+}
+
+StreamingReport StreamingEngine::run() {
+  StreamingReport report;
+
+  // ---- scenario: matrix, placement, bound cache ----------------------------
+  traffic::TrafficMatrix tm = traffic::generate_traffic(config_.generator);
+  if (config_.intensity_scale != 1.0) tm.scale(config_.intensity_scale);
+  util::Rng place_rng(config_.placement_seed);
+  core::Allocation alloc =
+      baselines::make_allocation(*topology_, config_.server_capacity,
+                                 tm.num_vms(), config_.vm_spec,
+                                 config_.placement, place_rng);
+  const core::LinkWeights weights =
+      core::LinkWeights::exponential(topology_->max_level());
+  core::CachedCostModel model(*topology_, weights);
+  model.bind(alloc, tm);
+  core::MigrationEngine engine(model, config_.engine);
+
+  // ---- initial optimisation + trigger arm ----------------------------------
+  run_reopt(model, engine, alloc, tm, config_);
+  report.initial_cost = model.total_cost(alloc, tm);
+  DriftTrigger trigger(config_.drift_threshold);
+  trigger.arm(report.initial_cost);
+
+  // ---- producer thread: synthesise batches over the queue ------------------
+  // The stream snapshots the matrix at spawn time and never touches it
+  // again; the queue is the only shared state (mutex + cv inside).
+  traffic::IngestQueue queue;
+  std::thread producer([this, &queue, &tm] {
+    traffic::FlowEventStream stream(tm, config_.events);
+    for (std::size_t t = 0; t < config_.ticks; ++t) {
+      queue.push(stream.next_batch());
+    }
+    queue.close();
+  });
+
+  // ---- consumer loop: fold deltas, fire on drift ---------------------------
+  std::size_t tick = 0;
+  traffic::FlowDeltaBatch batch;
+  while (queue.pop(batch)) {
+    tm.apply(batch);
+    report.deltas_applied += batch.size();
+    const double current = model.total_cost(alloc, tm);  // O(1): folded
+    if (trigger.should_reoptimize(current)) {
+      ReoptEvent ev;
+      ev.tick = tick;
+      ev.drift = trigger.drift(current);
+      ev.cost_before = current;
+      const ReoptStats res = run_reopt(model, engine, alloc, tm, config_);
+      ev.cost_after = model.total_cost(alloc, tm);
+      ev.migrations = res.migrations;
+      ev.rounds = res.rounds;
+      if (config_.fresh_reference) {
+        ev.fresh_cost = fresh_reference_cost(*topology_, tm, config_,
+                                             31ull * tick + 17ull);
+      }
+      trigger.arm(ev.cost_after);
+      report.reopts.push_back(ev);
+    }
+    ++tick;
+  }
+  producer.join();
+
+  report.ticks = tick;
+  report.final_cost = model.total_cost(alloc, tm);
+  if (config_.fresh_reference) {
+    report.final_fresh_cost =
+        fresh_reference_cost(*topology_, tm, config_, 0xF1A7ull);
+  }
+  report.deltas_folded = model.deltas_folded();
+  report.cache_rebuilds = model.rebuilds();
+  return report;
+}
+
+}  // namespace score::driver

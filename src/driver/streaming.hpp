@@ -1,0 +1,155 @@
+// Streaming ingest driver — event-driven re-optimisation on a live matrix.
+//
+// The continuous engine re-optimises at fixed epoch boundaries because its
+// input arrives as per-epoch matrices. This driver consumes the raw event
+// stream instead: flow up/down/rate-change deltas are folded into one live
+// TrafficMatrix (and, through the TrafficObserver seam, into the bound
+// CachedCostModel in O(1) per delta — no rebuilds on the ingest path), and
+// re-optimisation launches only when the *cached* Eq. (2) total has drifted
+// past a configurable threshold since the last optimised state. Between
+// triggers the optimiser does no work at all; the cost of staying current is
+// one O(1) fold per delta.
+//
+// Concurrency contract (the shape the TSan job locks in): the producer
+// thread synthesises FlowDeltaBatches and hands them over an IngestQueue;
+// the consumer — the run() thread — owns the matrix, the allocation and the
+// cost cache exclusively. Batches queued while a re-optimisation runs simply
+// wait (bounded staleness); the matrix is never mutated concurrently with a
+// read. Apart from wall-clock, the result is deterministic: batch contents
+// and arrival order are fixed by the stream seed, and drift is evaluated
+// once per batch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <string>
+
+#include "baselines/placement.hpp"
+#include "core/migration_engine.hpp"
+#include "hypervisor/distributed_runtime.hpp"
+#include "topology/topology.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/ingest.hpp"
+#include "util/exec_policy.hpp"
+
+namespace score::driver {
+
+/// Relative cost-drift trigger: fires when |current - baseline| exceeds
+/// `threshold` × baseline (a dead datacenter — baseline 0 — fires on any
+/// nonzero cost). Re-arm after every re-optimisation.
+class DriftTrigger {
+ public:
+  explicit DriftTrigger(double threshold);
+
+  /// Set the reference cost drift is measured against.
+  void arm(double baseline_cost) { baseline_ = baseline_cost; }
+
+  /// |current - baseline| / baseline (relative; 0 when both are 0).
+  double drift(double current_cost) const;
+
+  bool should_reoptimize(double current_cost) const {
+    return drift(current_cost) > threshold_;
+  }
+
+  double baseline() const { return baseline_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+  double baseline_ = 0.0;
+};
+
+struct StreamingConfig {
+  // ---- scenario -------------------------------------------------------------
+  /// Defines the VM fleet and the starting matrix.
+  traffic::GeneratorConfig generator;
+  /// Rate multiplier on the starting matrix (paper intensities ×1/×10/×50).
+  double intensity_scale = 1.0;
+  baselines::PlacementStrategy placement = baselines::PlacementStrategy::kRandom;
+  core::ServerCapacity server_capacity;
+  core::VmSpec vm_spec;
+  std::uint64_t placement_seed = 7;
+
+  // ---- ingest ---------------------------------------------------------------
+  /// Synthetic flow-event source (one batch per tick).
+  traffic::FlowEventConfig events;
+  /// Number of ingest ticks to consume.
+  std::size_t ticks = 64;
+
+  // ---- drift-triggered re-optimisation -------------------------------------
+  /// Relative drift of the cached total that launches a re-optimisation.
+  double drift_threshold = 0.05;
+  /// "centralized" (shared-memory token loop) or "distributed"
+  /// (message-passing dom0 runtime), as in ContinuousConfig.
+  std::string mode = "centralized";
+  /// Centralized mode: tokens > 1 selects the multi-token driver.
+  std::size_t tokens = 1;
+  util::ExecPolicy exec = util::ExecPolicy::seq();
+  /// Token-round budget per triggered re-opt (stability may stop earlier).
+  std::size_t iterations_per_reopt = 4;
+  core::EngineConfig engine;
+  /// Distributed mode: fabric/failure/migration-budget base config; the
+  /// engine overrides `engine` and `iterations` per triggered re-opt.
+  hypervisor::RuntimeConfig runtime;
+
+  // ---- fresh re-optimisation reference -------------------------------------
+  /// Compute the per-event fresh reference (fresh placement re-optimised to
+  /// stability on the matrix snapshot). Costs a full optimisation per
+  /// trigger; disable for pure throughput runs.
+  bool fresh_reference = true;
+  /// Iteration cap for the fresh reference.
+  std::size_t reopt_iterations = 12;
+};
+
+/// One drift-triggered re-optimisation.
+struct ReoptEvent {
+  std::size_t tick = 0;       ///< ingest tick whose batch tripped the trigger
+  double drift = 0.0;         ///< relative drift at the trigger
+  double cost_before = 0.0;   ///< cached total when triggered
+  double cost_after = 0.0;    ///< after the token rounds
+  double fresh_cost = 0.0;    ///< fresh-placement reference (0 if disabled)
+  std::size_t migrations = 0;
+  std::size_t rounds = 0;
+
+  /// Steady-state quality vs. starting over (≈1 is the paper's band).
+  double cost_ratio() const {
+    return fresh_cost > 0.0 ? cost_after / fresh_cost : 1.0;
+  }
+};
+
+struct StreamingReport {
+  std::size_t ticks = 0;
+  std::uint64_t deltas_applied = 0;  ///< deltas pushed through apply()
+  std::uint64_t deltas_folded = 0;   ///< folded O(1) via the observer seam
+  std::uint64_t cache_rebuilds = 0;  ///< full rebuilds of the bound cache
+  std::vector<ReoptEvent> reopts;
+  double initial_cost = 0.0;  ///< after the initial optimisation
+  double final_cost = 0.0;
+  double final_fresh_cost = 0.0;  ///< fresh reference on the final matrix
+
+  double deltas_per_reopt() const {
+    return reopts.empty() ? static_cast<double>(deltas_applied)
+                          : static_cast<double>(deltas_applied) /
+                                static_cast<double>(reopts.size());
+  }
+
+  /// Worst cost ratio over every trigger and the final state.
+  double max_cost_ratio() const;
+};
+
+class StreamingEngine {
+ public:
+  /// `topology` must outlive the engine. One server per topology host.
+  StreamingEngine(const topo::Topology& topology, StreamingConfig config);
+
+  /// Producer thread streams batches over an IngestQueue; the calling thread
+  /// consumes them, folds deltas, and re-optimises on drift triggers.
+  StreamingReport run();
+
+ private:
+  const topo::Topology* topology_;
+  StreamingConfig config_;
+};
+
+}  // namespace score::driver

@@ -1,0 +1,119 @@
+// Streaming flow-event ingest — the event-driven face of traffic dynamics.
+//
+// Where TrafficDynamics models epoch-granularity evolution (matrices per
+// measurement window), this module models the raw event stream underneath:
+// individual flows coming up, going down, and changing rate between windows.
+// FlowEventStream synthesises a deterministic sequence of FlowDeltaBatches
+// against a starting matrix; IngestQueue carries batches from a producer
+// (a collector thread, a synthetic stream) to the consumer that owns the
+// TrafficMatrix. The consumer applies batches at its own pace — the cost
+// caches fold each delta through the TrafficObserver seam, so ingest never
+// forces a global rebuild (see ARCHITECTURE.md, "Streaming ingest & drift
+// trigger").
+//
+// diff_batch() bridges the two worlds: it expresses one matrix as additive
+// deltas against another, choosing each delta so the reconstruction
+// `from.rate + delta` rounds to *exactly* `to.rate` — applying the batch to
+// a copy of `from` reproduces `to` bit-for-bit (pairs() equality), which is
+// what lets TrafficDynamics materialise epochs through the delta path
+// without moving golden traces.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "traffic/flow_delta.hpp"
+#include "traffic/traffic_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace score::traffic {
+
+/// Additive deltas transforming `from` into `to` (changed pairs only, in
+/// pairs() order). Deltas are ulp-adjusted — and fall back to an exact
+/// retract-then-re-add pair when no single representable delta lands — so
+/// applying the batch to a copy of `from` yields a matrix whose pairs()
+/// equal `to`'s exactly.
+FlowDeltaBatch diff_batch(const TrafficMatrix& from, const TrafficMatrix& to);
+
+/// The additive delta d with fl(from + d) == to, when one exists within a
+/// few ulps of to - from. Guaranteed exact when to is within [from/2,
+/// 2*from] (Sterbenz); diff_batch handles the cases where no exact single
+/// delta exists. Exposed for tests.
+double exact_delta(double from, double to);
+
+struct FlowEventConfig {
+  /// Flow events synthesised per tick (one tick -> one FlowDeltaBatch).
+  std::size_t events_per_tick = 1024;
+  /// P(event is a new flow coming up between a random VM pair).
+  double new_flow_prob = 0.15;
+  /// P(event is an existing flow going down). The remaining mass is a
+  /// multiplicative rate change of an existing flow.
+  double drop_flow_prob = 0.10;
+  /// Sigma of the log-normal multiplicative rate jitter.
+  double rate_jitter_sigma = 0.3;
+  /// ln-space mu/sigma of new-flow rates (mice-like by default).
+  double new_flow_rate_mu = 0.0;
+  double new_flow_rate_sigma = 1.0;
+  std::uint64_t seed = 97;
+};
+
+/// Deterministic synthetic flow-event source. Tracks its own mirror of the
+/// flow population (one entry per emitted flow; entries for the same VM pair
+/// accumulate additively, matching TrafficMatrix::apply semantics), so
+/// generation is O(events) per tick and never reads the live matrix.
+class FlowEventStream {
+ public:
+  /// Seeds the mirror from `initial`'s pairs. The stream holds no reference
+  /// to the matrix afterwards.
+  FlowEventStream(const TrafficMatrix& initial, const FlowEventConfig& config);
+
+  /// Synthesise the next tick's batch. Applying every batch in order to the
+  /// initial matrix keeps matrix and mirror consistent: rates never clamp.
+  FlowDeltaBatch next_batch();
+
+  std::size_t num_flows() const { return flows_.size(); }
+
+ private:
+  struct Flow {
+    VmId u;
+    VmId v;
+    double rate;
+  };
+
+  FlowEventConfig config_;
+  std::size_t num_vms_;
+  std::vector<Flow> flows_;
+  util::Rng rng_;
+};
+
+/// Bounded-unbounded handoff of delta batches between one or more producers
+/// and the consumer that owns the TrafficMatrix. All operations are
+/// mutex-protected; pop() blocks until a batch arrives or the queue is
+/// closed and drained.
+class IngestQueue {
+ public:
+  void push(FlowDeltaBatch batch);
+
+  /// Blocking pop: false iff the queue is closed and fully drained (the
+  /// consumer's termination signal).
+  bool pop(FlowDeltaBatch& out);
+
+  /// Non-blocking pop: false when currently empty (queue may still be open).
+  bool try_pop(FlowDeltaBatch& out);
+
+  /// No more pushes will arrive; wakes blocked consumers.
+  void close();
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<FlowDeltaBatch> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace score::traffic

@@ -6,27 +6,111 @@
 
 namespace score::traffic {
 
-void TrafficMatrix::set_directed(VmId u, VmId v, double rate) {
+TrafficMatrix::TrafficMatrix(const TrafficMatrix& other)
+    : adj_(other.adj_), version_(other.version_) {}
+
+TrafficMatrix::TrafficMatrix(TrafficMatrix&& other) noexcept
+    : adj_(std::move(other.adj_)), version_(other.version_) {
+  other.adj_.clear();
+  ++other.version_;
+}
+
+TrafficMatrix& TrafficMatrix::operator=(const TrafficMatrix& other) {
+  if (this == &other) return *this;
+  adj_ = other.adj_;
+  // Keep our own (monotonic) version stream: consumers track *this* object's
+  // counter, so a bump — not other's value, which could coincide — is what
+  // invalidates them.
+  ++version_;
+  notify_bulk_update();
+  return *this;
+}
+
+TrafficMatrix::~TrafficMatrix() {
+  std::lock_guard<std::mutex> lock(observers_mu_);
+  for (TrafficObserver* obs : observers_) obs->on_matrix_destroyed();
+  observers_.clear();
+}
+
+TrafficMatrix& TrafficMatrix::operator=(TrafficMatrix&& other) noexcept {
+  if (this == &other) return *this;
+  adj_ = std::move(other.adj_);
+  other.adj_.clear();
+  ++other.version_;
+  ++version_;
+  notify_bulk_update();
+  return *this;
+}
+
+double TrafficMatrix::update_directed(VmId u, VmId v, double new_rate) {
   auto& row = adj_.at(u);
-  auto it = std::find_if(row.begin(), row.end(),
-                         [v](const auto& p) { return p.first == v; });
-  if (rate <= 0.0) {
-    if (it != row.end()) row.erase(it);
-    return;
+  for (auto it = row.begin(); it != row.end(); ++it) {
+    if (it->first == v) {
+      const double old = it->second;
+      if (new_rate <= 0.0) {
+        row.erase(it);
+      } else {
+        it->second = new_rate;
+      }
+      return old;
+    }
   }
-  if (it != row.end()) {
-    it->second = rate;
-  } else {
-    row.emplace_back(v, rate);
+  if (new_rate > 0.0) row.emplace_back(v, new_rate);
+  return 0.0;
+}
+
+void TrafficMatrix::commit_rate(VmId u, VmId v, double new_rate) {
+  if (new_rate < 0.0) new_rate = 0.0;
+  const double old_rate = update_directed(u, v, new_rate);
+  if (old_rate == new_rate) return;  // true no-op: no bump, no notification
+  update_directed(v, u, new_rate);
+  ++version_;
+  notify_rate_change(u, v, old_rate, new_rate);
+}
+
+void TrafficMatrix::notify_rate_change(VmId u, VmId v, double old_rate,
+                                       double new_rate) {
+  std::lock_guard<std::mutex> lock(observers_mu_);
+  for (TrafficObserver* obs : observers_) {
+    obs->on_rate_change(u, v, old_rate, new_rate);
   }
+}
+
+void TrafficMatrix::notify_bulk_update() {
+  std::lock_guard<std::mutex> lock(observers_mu_);
+  for (TrafficObserver* obs : observers_) obs->on_bulk_update();
+}
+
+void TrafficMatrix::add_observer(TrafficObserver* observer) const {
+  std::lock_guard<std::mutex> lock(observers_mu_);
+  if (std::find(observers_.begin(), observers_.end(), observer) ==
+      observers_.end()) {
+    observers_.push_back(observer);
+  }
+}
+
+void TrafficMatrix::remove_observer(TrafficObserver* observer) const {
+  std::lock_guard<std::mutex> lock(observers_mu_);
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+void TrafficMatrix::apply(const FlowDelta& delta) {
+  if (delta.u == delta.v) {
+    throw std::invalid_argument("TrafficMatrix::apply: u == v");
+  }
+  if (delta.delta == 0.0) return;
+  commit_rate(delta.u, delta.v, rate(delta.u, delta.v) + delta.delta);
+}
+
+void TrafficMatrix::apply(const FlowDeltaBatch& batch) {
+  for (const FlowDelta& d : batch) apply(d);
 }
 
 void TrafficMatrix::set(VmId u, VmId v, double rate) {
   if (u == v) throw std::invalid_argument("TrafficMatrix::set: u == v");
   if (rate < 0.0) throw std::invalid_argument("TrafficMatrix::set: negative rate");
-  set_directed(u, v, rate);
-  set_directed(v, u, rate);
-  ++version_;
+  commit_rate(u, v, rate);
 }
 
 void TrafficMatrix::add(VmId u, VmId v, double delta) {
@@ -59,13 +143,9 @@ double TrafficMatrix::total_load() const {
 
 void TrafficMatrix::scale(double factor) {
   if (factor < 0.0) throw std::invalid_argument("TrafficMatrix::scale: negative factor");
-  for (auto& row : adj_) {
-    for (auto& [peer, rate] : row) {
-      (void)peer;
-      rate *= factor;
-    }
-  }
-  ++version_;
+  // Through the per-pair choke point so observers fold each change exactly
+  // (the pairs() snapshot keeps the iteration stable while rows mutate).
+  for (const auto& [u, v, r] : pairs()) commit_rate(u, v, r * factor);
 }
 
 std::vector<std::tuple<VmId, VmId, double>> TrafficMatrix::pairs() const {

@@ -5,28 +5,82 @@
 // matrices are sparse (each VM talks to a handful of peers), so we store
 // adjacency lists rather than a dense matrix: the cost model and the
 // migration-delta evaluation both iterate the neighbour set Vu.
+//
+// Mutation model (see ARCHITECTURE.md, "Streaming ingest & drift trigger"):
+// every mutation — the streaming apply() entry points and the legacy
+// set/add/scale mutators alike — funnels through one private choke point
+// that updates the storage, bumps the version counter and announces the
+// change to the registered TrafficObservers. Observers and the counter can
+// therefore never disagree: a registered consumer folds each per-pair change
+// incrementally, an unregistered one detects the counter move and rebuilds.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <tuple>
 #include <utility>
 #include <vector>
 
-namespace score::traffic {
+#include "traffic/flow_delta.hpp"
 
-using VmId = std::uint32_t;
+namespace score::traffic {
 
 class TrafficMatrix {
  public:
   explicit TrafficMatrix(std::size_t num_vms) : adj_(num_vms) {}
 
+  // Observers are registered against this object's identity, so they are
+  // deliberately NOT carried across copies or moves: a copy starts with no
+  // observers (its consumers fall back to the version counter), and
+  // assignment into an observed matrix keeps the observer list and announces
+  // a bulk update. A moved-from matrix is left empty with its version bumped.
+  TrafficMatrix(const TrafficMatrix& other);
+  TrafficMatrix(TrafficMatrix&& other) noexcept;
+  TrafficMatrix& operator=(const TrafficMatrix& other);
+  TrafficMatrix& operator=(TrafficMatrix&& other) noexcept;
+  /// Announces on_matrix_destroyed to any still-registered observers so they
+  /// drop their pointers — either destruction order is safe.
+  ~TrafficMatrix();
+
   std::size_t num_vms() const { return adj_.size(); }
+
+  // ---- streaming mutation API ----------------------------------------------
+
+  /// Fold one flow delta: λ(u,v) += delta, clamped at 0 (a pair driven to or
+  /// below zero is removed). u != v. O(|Vu| + |Vv|) storage update plus one
+  /// O(1) observer notification per registered observer.
+  void apply(const FlowDelta& delta);
+
+  /// Fold a batch in order (deltas to the same pair accumulate).
+  void apply(const FlowDeltaBatch& batch);
+
+  /// Register/deregister a mutation observer. Idempotent (re-adding a
+  /// registered observer or removing an unknown one is a no-op). `const`
+  /// because observing does not change the matrix; the list itself is
+  /// mutex-protected so concurrent registrations (e.g. parallel shard-cache
+  /// binds) are safe. Mutations must still not race with anything.
+  void add_observer(TrafficObserver* observer) const;
+  void remove_observer(TrafficObserver* observer) const;
+
+  // ---- legacy mutators ------------------------------------------------------
+  // DEPRECATED for hot paths: set/add/scale predate the delta API and are
+  // kept for scenario construction and tests. They route through the same
+  // choke point as apply(), so observers see them as per-pair rate changes —
+  // but prefer apply(FlowDeltaBatch) for event-driven updates: it is the
+  // entry point the streaming ingest/bench path exercises and documents.
 
   /// Set λ(u,v) = λ(v,u) = rate (rate >= 0; 0 removes the pair). u != v.
   void set(VmId u, VmId v, double rate);
 
-  /// Add `delta` to λ(u,v) (creates the pair if absent).
+  /// Add `delta` to λ(u,v) (creates the pair if absent). Unlike apply(), a
+  /// negative resulting rate throws instead of clamping.
   void add(VmId u, VmId v, double delta);
+
+  /// Multiply every rate by `factor` (the paper scales its base TM ×10, ×50).
+  /// Emitted to observers as one rate change per pair.
+  void scale(double factor);
+
+  // ---- queries --------------------------------------------------------------
 
   /// λ(u,v); 0 when the VMs do not communicate.
   double rate(VmId u, VmId v) const;
@@ -42,21 +96,36 @@ class TrafficMatrix {
   /// Sum of λ over all unordered pairs.
   double total_load() const;
 
-  /// Multiply every rate by `factor` (the paper scales its base TM ×10, ×50).
-  void scale(double factor);
-
   /// All unordered pairs (u < v) with their rates, in deterministic order.
   std::vector<std::tuple<VmId, VmId, double>> pairs() const;
 
-  /// Mutation counter: bumped by set/add/scale. CachedCostModel uses it to
-  /// detect traffic drift (dynamics) and rebuild its per-VM sums.
+  /// Mutation counter: bumped by every effective mutation (apply, set, add,
+  /// scale, assignment). CachedCostModel uses it as the fallback/cross-check
+  /// path: a consumer that missed the observer notifications (it was never
+  /// registered, or the change was a bulk update) detects the counter move
+  /// and rebuilds its sums.
   std::uint64_t version() const { return version_; }
 
  private:
-  void set_directed(VmId u, VmId v, double rate);
+  /// The single mutation choke point: writes both directed entries, bumps
+  /// the version and notifies observers. No-op (no bump, no notification)
+  /// when the new rate equals the old. Negative rates are clamped to 0.
+  void commit_rate(VmId u, VmId v, double new_rate);
+
+  /// Update one directed entry, returning the previous rate (0 if absent).
+  /// new_rate <= 0 erases the entry.
+  double update_directed(VmId u, VmId v, double new_rate);
+
+  void notify_rate_change(VmId u, VmId v, double old_rate, double new_rate);
+  void notify_bulk_update();
 
   std::vector<std::vector<std::pair<VmId, double>>> adj_;
   std::uint64_t version_ = 0;
+  /// Registration is mutex-protected (parallel shard-cache binds register
+  /// concurrently); notification iterates under the same lock. Mutable so
+  /// observing a const matrix works.
+  mutable std::vector<TrafficObserver*> observers_;
+  mutable std::mutex observers_mu_;
 };
 
 }  // namespace score::traffic

@@ -21,7 +21,10 @@ Two modes:
           relative (default 1e-6); the raw checksum is additionally compared
           when both runs made the same number of calls,
         * cost_reduction_pct differs by more than --reduction-atol
-          percentage points (default 1.0).
+          percentage points (default 1.0),
+        * updates_per_sec (the streaming-ingest fold-throughput metric)
+          dropped by more than --updates-tolerance fractional (default 0.4,
+          i.e. -40%; throughput only gates downward — speedups pass).
 
       Scenarios present only in the baseline (e.g. the paper-scale suite
       when CI runs --scale default) are reported as skipped, not failed.
@@ -156,6 +159,20 @@ def compare(baseline: dict, candidate: dict, args: argparse.Namespace) -> int:
                      f"{c[field]:.9g} (rel {rel:.3g} > {args.checksum_rtol:.3g})")
                 failures += 1
 
+        if ("updates_per_sec" in b and "updates_per_sec" in c
+                and b["updates_per_sec"] > 0):
+            ratio = c["updates_per_sec"] / b["updates_per_sec"]
+            if ratio < 1.0 - args.updates_tolerance:
+                fail(f"{name}: updates_per_sec regressed "
+                     f"{b['updates_per_sec']:.4g} -> {c['updates_per_sec']:.4g} "
+                     f"({ratio:.2f}x, allowed down to "
+                     f"{1.0 - args.updates_tolerance:.2f}x)")
+                failures += 1
+            else:
+                print(f"bench_compare: ok {name}: updates_per_sec "
+                      f"{b['updates_per_sec']:.4g} -> "
+                      f"{c['updates_per_sec']:.4g} ({ratio:.2f}x)")
+
         dr = abs(c["cost_reduction_pct"] - b["cost_reduction_pct"])
         if dr > args.reduction_atol:
             fail(f"{name}: cost_reduction_pct diverged "
@@ -187,6 +204,9 @@ def main() -> int:
                         help="allowed relative checksum divergence at equal call counts")
     parser.add_argument("--reduction-atol", type=float, default=1.0,
                         help="allowed cost_reduction_pct divergence, percentage points")
+    parser.add_argument("--updates-tolerance", type=float, default=0.4,
+                        help="allowed fractional updates_per_sec drop (default 0.4 "
+                             "= -40%%; increases never fail)")
     parser.add_argument("--fail-on-new", dest="fail_on_new", action="store_true",
                         default=True,
                         help="fail when the candidate has scenarios absent from the "

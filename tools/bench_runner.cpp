@@ -29,13 +29,18 @@
 //   --threads max worker threads for the tokens × threads ablation
 //             (default 4).
 //   --suite   run only one suite: fig2 | fig3 | micro | paper-scale |
-//             tokens-threads | dist-vs-centralized | steady-state (default:
-//             all suites the selected scale includes). The CI multi-core
-//             re-measure job uses `--scale paper --suite tokens-threads`.
-//             steady-state is the §VI-B continuous-operation suite: VM
-//             lifecycle churn over dynamic traffic epochs, distributed
-//             re-optimisation per epoch, hard-gated against per-epoch fresh
-//             centralized re-optimisation (and trace determinism).
+//             tokens-threads | dist-vs-centralized | steady-state |
+//             streaming-ingest (default: all suites the selected scale
+//             includes). The CI multi-core re-measure job uses `--scale
+//             paper --suite tokens-threads`. steady-state is the §VI-B
+//             continuous-operation suite: VM lifecycle churn over dynamic
+//             traffic epochs, distributed re-optimisation per epoch,
+//             hard-gated against per-epoch fresh centralized
+//             re-optimisation (and trace determinism). streaming-ingest is
+//             the flow-delta suite: O(1) fold throughput (gated >= 1e6
+//             deltas/sec, folded total == brute-force rebuild) plus
+//             drift-triggered streaming runs gated at the <= 1.05 band vs
+//             fresh re-optimisation.
 //   --mode    restrict the dist-vs-centralized suite to one execution mode
 //             (cross-mode hard checks need "both", the default).
 #include <algorithm>
@@ -51,7 +56,9 @@
 #include "driver/continuous.hpp"
 #include "driver/convergence.hpp"
 #include "driver/multi_token.hpp"
+#include "driver/streaming.hpp"
 #include "hypervisor/distributed_runtime.hpp"
+#include "traffic/ingest.hpp"
 #include "util/exec_policy.hpp"
 
 namespace {
@@ -725,6 +732,192 @@ bool run_steady_state(bench::JsonReport& report) {
   return ok;
 }
 
+// Streaming-ingest suite (paper suite): the flow-delta API quantified.
+//
+// Fold throughput (canonical-2560): pre-generated FlowDeltaBatches applied
+// to a live matrix whose bound CachedCostModel folds each delta through the
+// TrafficObserver seam. Hard gates: >= 1e6 folded deltas/sec, the folded
+// Eq. (2) total must equal a brute-force rebuild (rel <= 1e-7), and the
+// whole stream must cause zero rebuilds beyond the initial bind.
+//
+// Drift-triggered runs (canonical-2560 + fat-tree-k16): the full streaming
+// engine — ingest thread, O(1) folds, re-optimisation only on cost drift.
+// Hard gate: every triggered re-opt (and the final state) lands within the
+// <= 1.05 band of a fresh per-event re-optimisation; headline metrics are
+// the re-opt count and deltas folded per re-opt.
+bool run_streaming_ingest(bench::JsonReport& report) {
+  bool ok = true;
+
+  // ---- fold throughput ------------------------------------------------------
+  {
+    topo::CanonicalTree topology(topo::CanonicalTreeConfig::paper_scale());
+    PaperFleet fleet = make_paper_fleet(topology);
+    traffic::TrafficMatrix& tm = fleet.tm;
+    core::CachedCostModel model(topology, core::LinkWeights::exponential(3));
+    core::CostModel brute(topology, core::LinkWeights::exponential(3));
+    model.bind(fleet.alloc, tm);
+
+    traffic::FlowEventConfig ecfg;
+    ecfg.events_per_tick = 4096;
+    ecfg.seed = 97;
+    traffic::FlowEventStream stream(tm, ecfg);
+    const std::size_t num_batches = g_quick ? 32 : 256;
+    std::vector<traffic::FlowDeltaBatch> batches;
+    batches.reserve(num_batches);
+    std::uint64_t updates = 0;
+    for (std::size_t i = 0; i < num_batches; ++i) {
+      batches.push_back(stream.next_batch());
+      updates += batches.back().size();
+    }
+
+    const std::uint64_t rebuilds_before = model.rebuilds();
+    const std::uint64_t folded_before = model.deltas_folded();
+    bench::Stopwatch sw;
+    for (const traffic::FlowDeltaBatch& batch : batches) tm.apply(batch);
+    const double folded_total = model.total_cost(fleet.alloc, tm);
+    const double elapsed = sw.elapsed_s();
+
+    const double updates_per_sec =
+        elapsed > 0.0 ? static_cast<double>(updates) / elapsed : 0.0;
+    const double brute_total = brute.total_cost(fleet.alloc, tm);
+    const double rel = std::abs(folded_total - brute_total) /
+                       (1.0 + std::abs(brute_total));
+    const std::uint64_t extra_rebuilds = model.rebuilds() - rebuilds_before;
+    const std::uint64_t folded = model.deltas_folded() - folded_before;
+
+    if (updates_per_sec < 1e6) {
+      std::cerr << "[streaming-ingest] THROUGHPUT FAILURE: " << updates_per_sec
+                << " folded deltas/sec < 1e6\n";
+      ok = false;
+    }
+    if (rel > 1e-7) {
+      std::cerr << "[streaming-ingest] FOLD DIVERGENCE: folded total "
+                << folded_total << " vs brute-force " << brute_total
+                << " (rel " << rel << " > 1e-7)\n";
+      ok = false;
+    }
+    if (extra_rebuilds != 0) {
+      std::cerr << "[streaming-ingest] REBUILD FAILURE: " << extra_rebuilds
+                << " cache rebuilds on the pure-delta ingest path\n";
+      ok = false;
+    }
+
+    bench::BenchRecord rec;
+    rec.suite = "streaming-ingest";
+    rec.scenario = "canonical-2560/fold-throughput";
+    rec.wall_time_s = elapsed;
+    rec.metric("num_vms", static_cast<double>(fleet.num_vms));
+    rec.metric("batches", static_cast<double>(num_batches));
+    rec.metric("updates", static_cast<double>(updates));
+    rec.metric("updates_per_sec", updates_per_sec);
+    rec.metric("ns_per_update", elapsed > 0.0
+                                    ? 1e9 * elapsed / static_cast<double>(updates)
+                                    : 0.0);
+    rec.metric("deltas_folded", static_cast<double>(folded));
+    rec.metric("extra_rebuilds", static_cast<double>(extra_rebuilds));
+    rec.metric("fold_vs_brute_rel", rel);
+    // Rep-dependent: only comparable at equal `calls` (the gate skips it
+    // otherwise, e.g. --quick vs full).
+    rec.metric("calls", static_cast<double>(updates));
+    rec.metric("checksum", folded_total);
+    report.add(rec);
+    std::cerr << "[streaming-ingest] fold-throughput: " << updates
+              << " deltas folded at " << updates_per_sec
+              << "/s (rel vs brute " << rel << ", extra rebuilds "
+              << extra_rebuilds << ")\n";
+  }
+
+  // ---- drift-triggered streaming runs --------------------------------------
+  struct Spec {
+    std::string name;
+    std::unique_ptr<topo::Topology> topology;
+  };
+  std::vector<Spec> specs;
+  specs.push_back({"canonical-2560", std::make_unique<topo::CanonicalTree>(
+                                         topo::CanonicalTreeConfig::paper_scale())});
+  specs.push_back({"fat-tree-k16", std::make_unique<topo::FatTree>(
+                                       topo::FatTreeConfig{.k = 16})});
+  constexpr double kDriftBand = 0.05;
+
+  for (auto& spec : specs) {
+    const topo::Topology& topology = *spec.topology;
+    driver::StreamingConfig cfg;
+    cfg.server_capacity.vm_slots = 16;
+    cfg.server_capacity.ram_mb = 16 * 256.0;
+    cfg.server_capacity.cpu_cores = 16.0;
+    cfg.generator.num_vms =
+        topology.num_hosts() * cfg.server_capacity.vm_slots / 2;
+    cfg.generator.mean_service_size = 24;
+    cfg.generator.intra_service_degree = 4.0;
+    cfg.generator.cross_service_prob = 0.3;
+    cfg.generator.seed = 42;
+    cfg.placement_seed = 43;
+    // Equal churn intensity per VM across topologies (0.5 events/VM/tick):
+    // a fixed absolute rate under-drives large fleets — drift never crosses
+    // the trigger threshold while accumulated mis-placement still drifts the
+    // fleet out of the fresh-re-opt band.
+    cfg.events.events_per_tick = cfg.generator.num_vms / 2;
+    cfg.events.seed = 97;
+    // Quick mode still needs enough ticks for drift to cross the trigger
+    // threshold on the big fleet (3 events/VM total at 6 ticks).
+    cfg.ticks = g_quick ? 6 : 12;
+    cfg.drift_threshold = 0.05;
+    cfg.tokens = 4;
+    // Match the re-opt budget to the fresh reference's: the band compares
+    // steady-state quality, not optimiser strength (stop_when_stable ends
+    // converged runs early either way).
+    cfg.iterations_per_reopt = 8;
+    cfg.fresh_reference = true;
+    cfg.reopt_iterations = 8;
+
+    bench::Stopwatch sw;
+    driver::StreamingEngine engine(topology, cfg);
+    const driver::StreamingReport res = engine.run();
+    const double wall = sw.elapsed_s();
+
+    if (res.max_cost_ratio() - 1.0 > kDriftBand) {
+      std::cerr << "[streaming-ingest] BAND FAILURE: " << spec.name
+                << " max cost ratio " << res.max_cost_ratio() << " vs band "
+                << 1.0 + kDriftBand << "\n";
+      ok = false;
+    }
+
+    std::size_t migrations = 0;
+    for (const driver::ReoptEvent& ev : res.reopts) migrations += ev.migrations;
+
+    bench::BenchRecord rec;
+    rec.suite = "streaming-ingest";
+    rec.scenario = spec.name + "/drift-trigger";
+    rec.wall_time_s = wall;
+    rec.cost_reduction_pct =
+        res.initial_cost > 0.0
+            ? 100.0 * (1.0 - res.final_cost / res.initial_cost)
+            : 0.0;
+    rec.migrations = migrations;
+    rec.metric("num_hosts", static_cast<double>(topology.num_hosts()));
+    rec.metric("num_vms", static_cast<double>(cfg.generator.num_vms));
+    rec.metric("ticks", static_cast<double>(res.ticks));
+    rec.metric("deltas_applied", static_cast<double>(res.deltas_applied));
+    rec.metric("deltas_folded", static_cast<double>(res.deltas_folded));
+    rec.metric("cache_rebuilds", static_cast<double>(res.cache_rebuilds));
+    rec.metric("reopts", static_cast<double>(res.reopts.size()));
+    rec.metric("deltas_per_reopt", res.deltas_per_reopt());
+    rec.metric("updates_per_sec",
+               wall > 0.0 ? static_cast<double>(res.deltas_applied) / wall : 0.0);
+    rec.metric("initial_cost", res.initial_cost);
+    rec.metric("final_cost", res.final_cost);
+    rec.metric("final_fresh_cost", res.final_fresh_cost);
+    rec.metric("max_cost_ratio_vs_fresh", res.max_cost_ratio());
+    report.add(rec);
+    std::cerr << "[streaming-ingest] " << rec.scenario << ": "
+              << res.reopts.size() << " re-opts over " << res.deltas_applied
+              << " deltas (" << res.deltas_per_reopt()
+              << " per re-opt), max ratio vs fresh " << res.max_cost_ratio()
+              << " in " << wall << "s wall\n";
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -755,10 +948,10 @@ int main(int argc, char** argv) {
       if (suite != "all" && suite != "fig2" && suite != "fig3" &&
           suite != "micro" && suite != "paper-scale" &&
           suite != "tokens-threads" && suite != "dist-vs-centralized" &&
-          suite != "steady-state") {
+          suite != "steady-state" && suite != "streaming-ingest") {
         std::cerr << "bench_runner: --suite must be one of all, fig2, fig3, "
                      "micro, paper-scale, tokens-threads, "
-                     "dist-vs-centralized, steady-state\n";
+                     "dist-vs-centralized, steady-state, streaming-ingest\n";
         return 2;
       }
     } else if (arg == "--mode" && i + 1 < argc) {
@@ -792,6 +985,7 @@ int main(int argc, char** argv) {
     if (want("tokens-threads")) ok = run_tokens_threads(report) && ok;
     if (want("dist-vs-centralized")) ok = run_dist_vs_centralized(report) && ok;
     if (want("steady-state")) ok = run_steady_state(report) && ok;
+    if (want("streaming-ingest")) ok = run_streaming_ingest(report) && ok;
   }
   if (report.size() == 0) {
     std::cerr << "bench_runner: --suite " << suite

@@ -22,6 +22,8 @@
 //   score_cli --topology fattree --k 16 --vms 8192 --tokens 16 --threads 4
 //   score_cli --mode continuous --vms 256 --epochs 8 --arrival-prob 0.3
 //             --departure-prob 0.1 --save world.v2
+//   score_cli --mode streaming --vms 256 --ticks 128 --batch-size 2048
+//             --drift-threshold 0.08
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -35,6 +37,7 @@
 #include "driver/convergence.hpp"
 #include "driver/multi_token.hpp"
 #include "driver/simulation.hpp"
+#include "driver/streaming.hpp"
 #include "hypervisor/distributed_runtime.hpp"
 #include "util/csv.hpp"
 #include "util/exec_policy.hpp"
@@ -56,9 +59,10 @@ std::string effective_mode(const util::Flags& flags) {
 /// flags the user actually passed are checked — defaults never conflict.
 void validate_mode_combos(const util::Flags& flags) {
   const std::string mode = effective_mode(flags);
-  if (mode != "centralized" && mode != "distributed" && mode != "continuous") {
+  if (mode != "centralized" && mode != "distributed" &&
+      mode != "continuous" && mode != "streaming") {
     throw std::invalid_argument(
-        "--mode must be centralized, distributed or continuous");
+        "--mode must be centralized, distributed, continuous or streaming");
   }
   const auto require = [&](const char* flag, bool ok, const char* needs) {
     if (flags.is_set(flag) && !ok) {
@@ -69,22 +73,27 @@ void validate_mode_combos(const util::Flags& flags) {
   };
   const bool dist = mode == "distributed";
   const bool cont = mode == "continuous";
+  const bool strm = mode == "streaming";
   // Failure model and trace hash live in the message-passing runtime
   // (continuous mode embeds it per epoch).
   require("loss", dist || cont, "--mode distributed or continuous");
   require("budget-mb", dist || cont, "--mode distributed or continuous");
   require("trace", dist || cont, "--mode distributed or continuous");
   // Multi-token parallelism and the GA normaliser are centralized-loop
-  // features (continuous mode reuses the multi-token walk).
-  require("tokens", !dist, "--mode centralized or continuous");
-  require("threads", !dist, "--mode centralized or continuous");
-  require("ga", !dist && !cont, "--mode centralized");
+  // features (continuous and streaming modes reuse the multi-token walk).
+  require("tokens", !dist, "--mode centralized, continuous or streaming");
+  require("threads", !dist, "--mode centralized, continuous or streaming");
+  require("ga", !dist && !cont && !strm, "--mode centralized");
   // Continuous-mode-only knobs.
   require("epochs", cont, "--mode continuous");
   require("tenant-vms", cont, "--mode continuous");
   require("arrival-prob", cont, "--mode continuous");
   require("departure-prob", cont, "--mode continuous");
   require("lifecycle-seed", cont, "--mode continuous");
+  // Streaming-mode-only knobs.
+  require("ticks", strm, "--mode streaming");
+  require("batch-size", strm, "--mode streaming");
+  require("drift-threshold", strm, "--mode streaming");
 }
 
 // Continuous-operation mode: VM lifecycle churn over dynamic traffic epochs,
@@ -173,6 +182,63 @@ int run_continuous(const topo::Topology& topology, const util::Flags& flags) {
   return 0;
 }
 
+// Streaming mode: flow-delta ingest folded into the live cost cache, with
+// re-optimisation launched only when the cached total drifts past
+// --drift-threshold (driver/streaming). Prints the per-trigger table and the
+// fold/rebuild counters that show the observer seam at work.
+int run_streaming(const topo::Topology& topology, const util::Flags& flags) {
+  driver::StreamingConfig cfg;
+  cfg.generator.num_vms = static_cast<std::size_t>(flags.get_int("vms"));
+  cfg.generator.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  cfg.intensity_scale = traffic::intensity_scale(
+      tools::parse_intensity(flags.get_string("intensity")));
+  cfg.placement = tools::parse_placement(flags.get_string("placement"));
+  cfg.server_capacity.vm_slots = static_cast<std::size_t>(flags.get_int("slots"));
+  cfg.server_capacity.ram_mb = static_cast<double>(cfg.server_capacity.vm_slots) * 256.0;
+  cfg.server_capacity.cpu_cores = static_cast<double>(cfg.server_capacity.vm_slots);
+  cfg.placement_seed = cfg.generator.seed + 1;
+  cfg.events.seed = cfg.generator.seed + 2;
+  cfg.events.events_per_tick = static_cast<std::size_t>(flags.get_int("batch-size"));
+  cfg.ticks = static_cast<std::size_t>(flags.get_int("ticks"));
+  cfg.drift_threshold = flags.get_double("drift-threshold");
+  cfg.tokens = static_cast<std::size_t>(flags.get_int("tokens"));
+  const int threads = static_cast<int>(flags.get_int("threads"));
+  cfg.exec = threads > 0 ? util::ExecPolicy::par(static_cast<std::size_t>(threads))
+                         : util::ExecPolicy::seq();
+  cfg.iterations_per_reopt = static_cast<std::size_t>(flags.get_int("iterations"));
+  cfg.engine.migration_cost = flags.get_double("cm");
+
+  driver::StreamingEngine engine(topology, cfg);
+  const driver::StreamingReport report = engine.run();
+
+  std::cout << "streaming S-CORE, " << report.ticks << " ticks, "
+            << report.deltas_applied << " flow deltas ("
+            << report.deltas_folded << " folded O(1), "
+            << report.cache_rebuilds << " cache rebuilds)\n";
+  std::cout << "tick   drift    cost_before    cost_after     fresh_reopt    "
+               "ratio   migr  rounds\n";
+  for (const driver::ReoptEvent& ev : report.reopts) {
+    std::cout << std::setw(5) << ev.tick << "  " << std::setw(6)
+              << std::setprecision(4) << ev.drift << std::setprecision(6)
+              << "  " << std::setw(13) << ev.cost_before << "  "
+              << std::setw(13) << ev.cost_after << "  " << std::setw(13)
+              << ev.fresh_cost << "  " << std::setw(6)
+              << std::setprecision(4) << ev.cost_ratio()
+              << std::setprecision(6) << std::setw(7) << ev.migrations
+              << std::setw(7) << ev.rounds << "\n";
+  }
+  std::cout << "drift trigger: " << report.reopts.size()
+            << " re-optimisations, " << report.deltas_per_reopt()
+            << " deltas/re-opt, final cost " << report.final_cost
+            << " (ratio vs fresh re-opt " << std::setprecision(4)
+            << (report.final_fresh_cost > 0.0
+                    ? report.final_cost / report.final_fresh_cost
+                    : 1.0)
+            << std::setprecision(6) << ", worst " << std::setprecision(4)
+            << report.max_cost_ratio() << std::setprecision(6) << ")\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -186,7 +252,8 @@ int main(int argc, char** argv) {
   flags.add_string("mode", "centralized",
                    "execution mode: centralized (shared-memory loop) | "
                    "distributed (message-passing dom0 runtime) | "
-                   "continuous (lifecycle churn over dynamic traffic epochs)");
+                   "continuous (lifecycle churn over dynamic traffic epochs) | "
+                   "streaming (flow-delta ingest, drift-triggered re-opt)");
   flags.add_int("epochs", 6, "continuous mode: traffic epochs to run");
   flags.add_int("tenant-vms", 8, "continuous mode: world VMs per tenant block");
   flags.add_double("arrival-prob", 0.25,
@@ -194,6 +261,12 @@ int main(int argc, char** argv) {
   flags.add_double("departure-prob", 0.08,
                    "continuous mode: per-epoch active-tenant departure probability");
   flags.add_int("lifecycle-seed", 7, "continuous mode: lifecycle stream seed");
+  flags.add_int("ticks", 64, "streaming mode: ingest ticks to consume");
+  flags.add_int("batch-size", 1024,
+                "streaming mode: flow events per ingest tick");
+  flags.add_double("drift-threshold", 0.05,
+                   "streaming mode: relative cached-cost drift that launches "
+                   "a re-optimisation");
   flags.add_bool("distributed", false,
                  "deprecated alias for --mode distributed");
   flags.add_bool("series", false, "print the cost-vs-time series as CSV");
@@ -210,6 +283,10 @@ int main(int argc, char** argv) {
     }
     validate_mode_combos(flags);
 
+    if (effective_mode(flags) == "streaming") {
+      auto topology = tools::make_topology(flags);
+      return run_streaming(*topology, flags);
+    }
     if (effective_mode(flags) == "continuous") {
       auto topology = tools::make_topology(flags);
       return run_continuous(*topology, flags);

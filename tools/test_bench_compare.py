@@ -39,7 +39,7 @@ def make_doc(records):
 
 def gate_args(**overrides):
     defaults = dict(ns_tolerance=0.25, ns_floor=100.0, checksum_rtol=1e-6,
-                    reduction_atol=1.0, fail_on_new=True)
+                    reduction_atol=1.0, updates_tolerance=0.4, fail_on_new=True)
     defaults.update(overrides)
     return argparse.Namespace(**defaults)
 
@@ -124,6 +124,26 @@ class CompareTests(unittest.TestCase):
         base = [make_record(cost_reduction_pct=40.0)]
         cand = [make_record(cost_reduction_pct=38.5)]  # |Δ| 1.5 pp > 1.0
         self.assertEqual(self.run_compare(base, cand), 1)
+
+    def test_updates_per_sec_drop_over_tolerance_trips_gate(self):
+        base = [make_record(updates_per_sec=2e6)]
+        cand = [make_record(updates_per_sec=1e6)]  # -50% < -40%
+        self.assertEqual(self.run_compare(base, cand), 1)
+
+    def test_updates_per_sec_drop_within_tolerance_passes(self):
+        base = [make_record(updates_per_sec=2e6)]
+        cand = [make_record(updates_per_sec=1.5e6)]  # -25%
+        self.assertEqual(self.run_compare(base, cand), 0)
+
+    def test_updates_per_sec_speedup_never_fails(self):
+        base = [make_record(updates_per_sec=1e6)]
+        cand = [make_record(updates_per_sec=9e6)]  # 9x faster
+        self.assertEqual(self.run_compare(base, cand), 0)
+
+    def test_updates_tolerance_is_adjustable(self):
+        base = [make_record(updates_per_sec=2e6)]
+        cand = [make_record(updates_per_sec=1.5e6)]  # -25%
+        self.assertEqual(self.run_compare(base, cand, updates_tolerance=0.1), 1)
 
     def test_new_scenario_fails_by_default(self):
         base = [make_record()]
