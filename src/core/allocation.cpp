@@ -71,6 +71,30 @@ void Allocation::migrate(VmId vm, ServerId target) {
   ++version_;
 }
 
+void Allocation::migrate_unchecked(VmId vm, ServerId target) {
+  if (vm >= num_vms()) {
+    throw std::out_of_range("Allocation::migrate_unchecked: bad vm id");
+  }
+  if (target >= num_servers()) {
+    throw std::out_of_range("Allocation::migrate_unchecked: bad server id");
+  }
+  const ServerId source = vm_server_[vm];
+  if (source == target) return;
+  const VmSpec& spec = vm_spec_[vm];
+  auto& src_list = server_vms_[source];
+  src_list.erase(std::find(src_list.begin(), src_list.end(), vm));
+  used_ram_[source] -= spec.ram_mb;
+  used_cpu_[source] -= spec.cpu_cores;
+  used_net_[source] -= spec.net_bps;
+
+  server_vms_[target].push_back(vm);
+  used_ram_[target] += spec.ram_mb;
+  used_cpu_[target] += spec.cpu_cores;
+  used_net_[target] += spec.net_bps;
+  vm_server_[vm] = target;
+  ++version_;
+}
+
 bool Allocation::check_consistency() const {
   std::vector<std::size_t> slot_count(num_servers(), 0);
   std::vector<double> ram(num_servers(), 0.0), cpu(num_servers(), 0.0),

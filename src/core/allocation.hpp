@@ -37,6 +37,12 @@ class Allocation {
   /// Moving a VM to its current server is a no-op.
   void migrate(VmId vm, ServerId target);
 
+  /// migrate() without the capacity check: for replaying moves that are
+  /// already known to land in a valid final state (snapshot resync toward a
+  /// validated master allocation). Intermediate states may transiently
+  /// overcommit a server — only the final resynced state must be valid.
+  void migrate_unchecked(VmId vm, ServerId target);
+
   ServerId server_of(VmId vm) const { return vm_server_.at(vm); }
   const VmSpec& spec(VmId vm) const { return vm_spec_.at(vm); }
   const std::vector<VmId>& vms_on(ServerId server) const {

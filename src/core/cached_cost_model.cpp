@@ -99,11 +99,11 @@ void CachedCostModel::rebuild() const {
   vm_cost_.assign(n, 0.0);
   total_ = 0.0;
   for (VmId u = 0; u < n; ++u) {
-    for (const auto& [v, rate] : tm_->neighbors(u)) {
+    tm_->for_each_neighbor(u, [&](VmId v, double rate) {
       const double c = pair_cost(rate, level(*alloc_, u, v));
       vm_cost_[u] += c;
       if (u < v) total_ += c;
-    }
+    });
   }
   alloc_version_ = alloc_->version();
   tm_version_ = tm_->version();
@@ -161,6 +161,28 @@ double CachedCostModel::vm_cost(const Allocation& alloc,
   return vm_cost_.at(u);
 }
 
+void CachedCostModel::fold_move(const Allocation& alloc,
+                                const traffic::TrafficMatrix& tm, VmId u,
+                                ServerId source, ServerId target) const {
+  // Lemma 3 as bookkeeping: only pairs incident to u change level. Peers'
+  // servers are unaffected by u's move, so their levels can be read after
+  // the migrate.
+  const auto& topology_ref = topology();
+  double diff = 0.0;
+  tm.for_each_neighbor(u, [&](VmId z, double rate) {
+    const ServerId zs = alloc.server_of(z);
+    const double delta = pair_cost(rate, topology_ref.comm_level(zs, target)) -
+                         pair_cost(rate, topology_ref.comm_level(zs, source));
+    vm_cost_[z] += delta;
+    diff += delta;
+  });
+  vm_cost_[u] += diff;
+  total_ += diff;
+  alloc_version_ = alloc.version();
+  ++incremental_updates_;
+  verify_cache();
+}
+
 void CachedCostModel::apply_migration(Allocation& alloc,
                                       const traffic::TrafficMatrix& tm, VmId u,
                                       ServerId target) const {
@@ -172,24 +194,21 @@ void CachedCostModel::apply_migration(Allocation& alloc,
   const ServerId source = alloc.server_of(u);
   alloc.migrate(u, target);  // throws on infeasible targets, cache untouched
   if (source == target) return;
+  fold_move(alloc, tm, u, source, target);
+}
 
-  // Lemma 3 as bookkeeping: only pairs incident to u change level. Peers'
-  // servers are unaffected by u's move, so their levels can be read after
-  // the migrate.
-  const auto& topology_ref = topology();
-  double diff = 0.0;
-  for (const auto& [z, rate] : tm.neighbors(u)) {
-    const ServerId zs = alloc.server_of(z);
-    const double delta = pair_cost(rate, topology_ref.comm_level(zs, target)) -
-                         pair_cost(rate, topology_ref.comm_level(zs, source));
-    vm_cost_[z] += delta;
-    diff += delta;
+void CachedCostModel::resync_migration(Allocation& alloc,
+                                       const traffic::TrafficMatrix& tm, VmId u,
+                                       ServerId target) const {
+  if (!bound_to(alloc, tm)) {
+    throw std::logic_error(
+        "CachedCostModel::resync_migration: (alloc, tm) is not the bound pair");
   }
-  vm_cost_[u] += diff;
-  total_ += diff;
-  alloc_version_ = alloc.version();
-  ++incremental_updates_;
-  verify_cache();
+  sync();
+  const ServerId source = alloc.server_of(u);
+  alloc.migrate_unchecked(u, target);
+  if (source == target) return;
+  fold_move(alloc, tm, u, source, target);
 }
 
 }  // namespace score::core

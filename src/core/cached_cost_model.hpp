@@ -86,6 +86,15 @@ class CachedCostModel final : public CostModel, public traffic::TrafficObserver 
   void apply_migration(Allocation& alloc, const traffic::TrafficMatrix& tm,
                        VmId u, ServerId target) const override;
 
+  /// apply_migration for snapshot resync: folds a move that replays another
+  /// replica's already-validated decision, so the capacity check is skipped
+  /// (Allocation::migrate_unchecked) — intermediate resync states may
+  /// transiently overcommit; only the final state (== the master being
+  /// resynced toward) must be valid. Requires the (alloc, tm) pair to be the
+  /// bound pair; throws std::logic_error otherwise.
+  void resync_migration(Allocation& alloc, const traffic::TrafficMatrix& tm,
+                        VmId u, ServerId target) const;
+
   /// TrafficObserver: O(1) fold of one pair's rate change on the bound
   /// matrix. Public only because TrafficMatrix invokes it; not for callers.
   void on_rate_change(traffic::VmId u, traffic::VmId v, double old_rate,
@@ -100,6 +109,10 @@ class CachedCostModel final : public CostModel, public traffic::TrafficObserver 
   std::uint64_t deltas_folded() const { return deltas_folded_; }
 
  private:
+  /// Shared Lemma-3 fold of a committed move of u (source → target) into
+  /// vm_cost_/total_, plus the version/counter/verify bookkeeping.
+  void fold_move(const Allocation& alloc, const traffic::TrafficMatrix& tm,
+                 VmId u, ServerId source, ServerId target) const;
   void rebuild() const;
   void sync() const;         ///< rebuild iff dirty or a version counter moved
   void verify_cache() const; ///< no-op unless SCORE_CHECK_CACHE

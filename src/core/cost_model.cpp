@@ -7,19 +7,18 @@ namespace score::core {
 int CostModel::highest_level(const Allocation& alloc,
                              const traffic::TrafficMatrix& tm, VmId u) const {
   int best = 0;
-  for (const auto& [v, rate] : tm.neighbors(u)) {
-    (void)rate;
+  tm.for_each_neighbor(u, [&](VmId v, double /*rate*/) {
     best = std::max(best, level(alloc, u, v));
-  }
+  });
   return best;
 }
 
 double CostModel::vm_cost(const Allocation& alloc, const traffic::TrafficMatrix& tm,
                           VmId u) const {
   double cost = 0.0;
-  for (const auto& [v, rate] : tm.neighbors(u)) {
+  tm.for_each_neighbor(u, [&](VmId v, double rate) {
     cost += pair_cost(rate, level(alloc, u, v));
-  }
+  });
   return cost;
 }
 
@@ -27,9 +26,9 @@ double CostModel::total_cost(const Allocation& alloc,
                              const traffic::TrafficMatrix& tm) const {
   double cost = 0.0;
   for (VmId u = 0; u < tm.num_vms(); ++u) {
-    for (const auto& [v, rate] : tm.neighbors(u)) {
+    tm.for_each_neighbor(u, [&](VmId v, double rate) {
       if (u < v) cost += pair_cost(rate, level(alloc, u, v));
-    }
+    });
   }
   return cost;
 }
@@ -40,12 +39,12 @@ double CostModel::migration_delta(const Allocation& alloc,
   const ServerId source = alloc.server_of(u);
   if (source == target) return 0.0;
   double delta = 0.0;
-  for (const auto& [z, rate] : tm.neighbors(u)) {
+  tm.for_each_neighbor(u, [&](VmId z, double rate) {
     const ServerId zs = alloc.server_of(z);
     const int before = topo_->comm_level(zs, source);
     const int after = topo_->comm_level(zs, target);
     delta += 2.0 * rate * (weights_.prefix(before) - weights_.prefix(after));
-  }
+  });
   return delta;
 }
 

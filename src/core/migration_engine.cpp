@@ -22,11 +22,11 @@ std::vector<ServerId> MigrationEngine::candidate_servers(
   // heaviest peers are probed first (§V-B.5).
   std::vector<std::tuple<int, double, ServerId>> ranked;
   ranked.reserve(tm.neighbors(u).size());
-  for (const auto& [z, rate] : tm.neighbors(u)) {
+  tm.for_each_neighbor(u, [&](VmId z, double rate) {
     const ServerId zs = alloc.server_of(z);
-    if (zs == source) continue;  // already colocated
+    if (zs == source) return;  // already colocated
     ranked.emplace_back(topo.comm_level(source, zs), rate, zs);
-  }
+  });
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
     if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) > std::get<0>(b);
     return std::get<1>(a) > std::get<1>(b);

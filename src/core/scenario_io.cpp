@@ -1,5 +1,6 @@
 #include "core/scenario_io.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -34,6 +35,28 @@ std::size_t read_count(std::istream& in, const std::string& keyword) {
   return n;
 }
 
+// Streams the pairs section row by row instead of materialising
+// TrafficMatrix::pairs() (O(E) tuples — at the 1M-VM tier that dump is
+// hundreds of MB of heap the writer doesn't need). Byte-identical to the
+// sorted pairs() output: pairs() orders by (u, v), which per-row collection
+// in ascending u with an ascending-v sort of each row reproduces exactly.
+// Peak extra memory is O(max_degree).
+void write_pairs_streaming(std::ostream& out, const traffic::TrafficMatrix& tm) {
+  out << "pairs " << tm.num_pairs() << "\n";
+  std::vector<std::pair<traffic::VmId, double>> row;
+  for (traffic::VmId u = 0; u < tm.num_vms(); ++u) {
+    row.clear();
+    tm.for_each_neighbor(u, [&](traffic::VmId v, double rate) {
+      if (u < v) row.emplace_back(v, rate);
+    });
+    std::sort(row.begin(), row.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [v, rate] : row) {
+      out << u << ' ' << v << ' ' << rate << "\n";
+    }
+  }
+}
+
 }  // namespace
 
 void save_scenario(std::ostream& out, const Allocation& alloc,
@@ -52,11 +75,7 @@ void save_scenario(std::ostream& out, const Allocation& alloc,
     out << alloc.server_of(vm) << ' ' << spec.ram_mb << ' ' << spec.cpu_cores
         << ' ' << spec.net_bps << "\n";
   }
-  const auto pairs = tm.pairs();
-  out << "pairs " << pairs.size() << "\n";
-  for (const auto& [u, v, rate] : pairs) {
-    out << u << ' ' << v << ' ' << rate << "\n";
-  }
+  write_pairs_streaming(out, tm);
 }
 
 namespace {
@@ -163,11 +182,7 @@ void save_scenario_v2(std::ostream& out, const WorldScenario& world) {
     out << ' ' << spec.ram_mb << ' ' << spec.cpu_cores << ' ' << spec.net_bps
         << "\n";
   }
-  const auto pairs = world.tm.pairs();
-  out << "pairs " << pairs.size() << "\n";
-  for (const auto& [u, v, rate] : pairs) {
-    out << u << ' ' << v << ' ' << rate << "\n";
-  }
+  write_pairs_streaming(out, world.tm);
   out << "events " << world.timeline.size() << "\n";
   for (const TimelineEvent& ev : world.timeline) {
     out << ev.epoch << ' '

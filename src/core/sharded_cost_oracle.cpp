@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace score::core {
 
@@ -51,6 +52,53 @@ void ShardedCostOracle::begin_pass(const Allocation& master,
     }
     shard.model->bind(*shard.snapshot, tm);
   });
+}
+
+void ShardedCostOracle::begin_pass(const Allocation& master,
+                                   const traffic::TrafficMatrix& tm,
+                                   const util::ExecPolicy& policy,
+                                   const std::vector<VmId>& touched) {
+  util::for_each_shard(
+      policy, shards_.size(),
+      [&](std::size_t t) {
+        Shard& shard = shards_[t];
+        if (!shard.snapshot ||
+            !shard.model->bound_to(*shard.snapshot, tm) ||
+            shard.snapshot->num_vms() != master.num_vms()) {
+          // No usable snapshot — full copy, exactly the non-incremental path.
+          if (shard.snapshot) {
+            *shard.snapshot = master;
+          } else {
+            shard.snapshot = std::make_unique<Allocation>(master);
+          }
+          shard.model->bind(*shard.snapshot, tm);
+          return;
+        }
+        // Replay the divergence: every VM that moved anywhere since the
+        // previous pass is in `touched`; folding each one whose placement
+        // differs makes the snapshot equal to master again (and keeps the
+        // cached Eq. (1)/(2) sums current without a rebuild).
+        for (const VmId u : touched) {
+          const ServerId want = master.server_of(u);
+          if (shard.snapshot->server_of(u) != want) {
+            shard.model->resync_migration(*shard.snapshot, tm, u, want);
+          }
+        }
+#ifdef SCORE_CHECK_CACHE
+        // The touched-set contract is the driver's to uphold; under the
+        // cache cross-check build, verify it — a missed VM here would mean
+        // this shard silently optimises against a stale world.
+        for (VmId u = 0; u < master.num_vms(); ++u) {
+          if (shard.snapshot->server_of(u) != master.server_of(u)) {
+            throw std::logic_error(
+                "ShardedCostOracle::begin_pass(touched): snapshot diverges "
+                "from master at vm " + std::to_string(u) +
+                " — incomplete touched set");
+          }
+        }
+#endif
+      },
+      util::ShardSchedule::kCyclic);
 }
 
 Allocation& ShardedCostOracle::shard_alloc(std::size_t shard) {

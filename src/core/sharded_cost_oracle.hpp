@@ -64,6 +64,24 @@ class ShardedCostOracle {
   void begin_pass(const Allocation& master, const traffic::TrafficMatrix& tm,
                   const util::ExecPolicy& policy);
 
+  /// Incremental begin_pass: instead of deep-copying `master` into every
+  /// shard (O(shards × world)), resync each shard's existing snapshot by
+  /// replaying only the moves that could have diverged it since the previous
+  /// pass. `touched` must contain (at least) every VM whose placement
+  /// changed in any shard snapshot or on the master since the previous
+  /// begin_pass — in the multi-token driver that is the union of all shards'
+  /// proposed local moves, whether or not the merge committed them. Per
+  /// shard, each touched VM whose snapshot placement differs from `master`
+  /// is folded through CachedCostModel::resync_migration (capacity checks
+  /// skipped: the final state equals the validated master), so the cost is
+  /// O(shards × |touched| × degree), independent of world size. Shards with
+  /// no usable snapshot (first pass, rebound containers, VM-count change)
+  /// fall back to the full copy. Jobs run block-cyclic: resync work is
+  /// skewed across shards, so striding balances workers.
+  void begin_pass(const Allocation& master, const traffic::TrafficMatrix& tm,
+                  const util::ExecPolicy& policy,
+                  const std::vector<VmId>& touched);
+
   /// The shard's private allocation snapshot (valid after begin_pass).
   /// Mutable by design: the owning token commits its pass-local migrations
   /// here through shard_model's apply_migration.

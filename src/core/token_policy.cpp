@@ -38,11 +38,10 @@ void HighestLevelFirstPolicy::observe(const CostModel& model,
       static_cast<std::uint8_t>(model.highest_level(alloc, tm, holder));
   // ...and raises (never lowers) the entries of the VMs it talks to
   // (Algorithm 1 lines 3-5).
-  for (const auto& [v, rate] : tm.neighbors(holder)) {
-    (void)rate;
+  tm.for_each_neighbor(holder, [&](VmId v, double /*rate*/) {
     const auto lvl = static_cast<std::uint8_t>(model.level(alloc, holder, v));
     if (levels_[v] < lvl) levels_[v] = lvl;
-  }
+  });
 }
 
 VmId HighestLevelFirstPolicy::next(VmId holder) {

@@ -43,9 +43,24 @@ SimResult MultiTokenSimulation::run(const MultiTokenConfig& config) {
   result.series.push_back({0.0, cost, 0});
 
   double pass_start_s = 0.0;
+  // VMs whose placement may differ between any shard snapshot and the master
+  // since the previous pass barrier: the union of all shards' *proposed*
+  // local moves (committed or not — a shard's own uncommitted move diverged
+  // its snapshot, another shard's committed move diverged the master). This
+  // is the incremental begin_pass contract: pass 1 pays the full per-shard
+  // snapshot copy, every later barrier costs O(shards × |touched| × degree)
+  // instead of O(shards × world).
+  std::vector<VmId> touched;
+  bool have_snapshots = false;
   for (std::size_t pass = 0; pass < config.iterations; ++pass) {
-    // Phase 1 — barrier: private snapshot + cache per token partition.
-    oracle.begin_pass(*alloc_, *tm_, config.policy);
+    // Phase 1 — barrier: private snapshot + cache per token partition
+    // (incrementally resynced from the previous pass where possible).
+    if (have_snapshots) {
+      oracle.begin_pass(*alloc_, *tm_, config.policy, touched);
+    } else {
+      oracle.begin_pass(*alloc_, *tm_, config.policy);
+      have_snapshots = true;
+    }
 
     // Phase 2 — parallel shard walks. Each job touches only shard-t state
     // (its snapshot, its cache, its ShardPass slot), so the outcome is a
@@ -104,6 +119,15 @@ SimResult MultiTokenSimulation::run(const MultiTokenConfig& config) {
       ++pass_migrations;
       result.series.push_back({pass_start_s + done_at, cost, result.total_migrations});
     }
+
+    // Refresh the touched set for the next barrier from this pass's
+    // proposals (see the contract above the loop).
+    touched.clear();
+    for (const ShardPass& sp : walked) {
+      for (const LocalMove& mv : sp.moves) touched.push_back(mv.vm);
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
 
     // Phase 4 — reconcile: true Eq. (2) total from per-shard sums over the
     // merged master, fed back as the authoritative pass cost (kills any

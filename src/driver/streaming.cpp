@@ -131,7 +131,7 @@ StreamingReport StreamingEngine::run() {
   // ---- producer thread: synthesise batches over the queue ------------------
   // The stream snapshots the matrix at spawn time and never touches it
   // again; the queue is the only shared state (mutex + cv inside).
-  traffic::IngestQueue queue;
+  traffic::IngestQueue queue(config_.queue_capacity);
   std::thread producer([this, &queue, &tm] {
     traffic::FlowEventStream stream(tm, config_.events);
     for (std::size_t t = 0; t < config_.ticks; ++t) {
@@ -175,6 +175,7 @@ StreamingReport StreamingEngine::run() {
   }
   report.deltas_folded = model.deltas_folded();
   report.cache_rebuilds = model.rebuilds();
+  report.max_queue_depth = queue.max_depth();
   return report;
 }
 

@@ -76,6 +76,10 @@ struct StreamingConfig {
   traffic::FlowEventConfig events;
   /// Number of ingest ticks to consume.
   std::size_t ticks = 64;
+  /// IngestQueue bound: a producer that outruns the folds blocks once this
+  /// many batches are waiting (0 = unbounded). Bounds peak memory and the
+  /// staleness window while a re-optimisation holds the consumer.
+  std::size_t queue_capacity = 0;
 
   // ---- drift-triggered re-optimisation -------------------------------------
   /// Relative drift of the cached total that launches a re-optimisation.
@@ -123,6 +127,7 @@ struct StreamingReport {
   std::uint64_t deltas_applied = 0;  ///< deltas pushed through apply()
   std::uint64_t deltas_folded = 0;   ///< folded O(1) via the observer seam
   std::uint64_t cache_rebuilds = 0;  ///< full rebuilds of the bound cache
+  std::size_t max_queue_depth = 0;   ///< IngestQueue high-water mark
   std::vector<ReoptEvent> reopts;
   double initial_cost = 0.0;  ///< after the initial optimisation
   double final_cost = 0.0;

@@ -41,8 +41,7 @@ class RecordingHypervisor final : public Hypervisor {
   bool can_host(topo::HostId host, const core::VmSpec& spec) const override {
     return inner_->can_host(host, spec);
   }
-  const std::vector<std::pair<core::VmId, double>>& datapath_rates(
-      core::VmId vm) const override {
+  traffic::NeighborView datapath_rates(core::VmId vm) const override {
     return inner_->datapath_rates(vm);
   }
   bool host_up(topo::HostId host) const override {

@@ -62,8 +62,7 @@ class Hypervisor {
   virtual bool can_host(topo::HostId host, const core::VmSpec& spec) const = 0;
   /// Ground-truth per-peer traffic rates for a VM (the simulated Open vSwitch
   /// the flow table is polled from).
-  virtual const std::vector<std::pair<core::VmId, double>>& datapath_rates(
-      core::VmId vm) const = 0;
+  virtual traffic::NeighborView datapath_rates(core::VmId vm) const = 0;
 
   // ---- host lifecycle (churn) -----------------------------------------------
   virtual bool host_up(topo::HostId host) const = 0;
@@ -101,8 +100,7 @@ class SimHypervisor final : public Hypervisor {
   bool can_host(topo::HostId host, const core::VmSpec& spec) const override {
     return alloc_->can_host(host, spec);
   }
-  const std::vector<std::pair<core::VmId, double>>& datapath_rates(
-      core::VmId vm) const override {
+  traffic::NeighborView datapath_rates(core::VmId vm) const override {
     return tm_->neighbors(vm);
   }
   bool host_up(topo::HostId host) const override { return host_up_.at(host); }

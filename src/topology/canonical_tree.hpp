@@ -34,6 +34,18 @@ struct CanonicalTreeConfig {
     c.cores = 2;
     return c;
   }
+
+  /// Mega-scale instance for `bench_runner --scale huge`: 6400 racks of 20
+  /// hosts (128000 hosts) — with the huge-tier fleet policy of 16 VM slots
+  /// per host at 50% occupancy this carries the 1M-VM canonical world.
+  static CanonicalTreeConfig huge_scale() {
+    CanonicalTreeConfig c;
+    c.racks = 6400;
+    c.hosts_per_rack = 20;
+    c.racks_per_pod = 8;
+    c.cores = 16;
+    return c;
+  }
 };
 
 class CanonicalTree final : public Topology {

@@ -27,6 +27,11 @@ struct FatTreeConfig {
 
   /// k = 4 (16 hosts) for unit tests; k = 8 (128 hosts) for default benches.
   static FatTreeConfig small_scale() { return FatTreeConfig{.k = 4}; }
+
+  /// Mega-scale tiers for `bench_runner --scale huge`:
+  /// k = 48 -> 27648 hosts, k = 64 -> 65536 hosts.
+  static FatTreeConfig huge_scale_k48() { return FatTreeConfig{.k = 48}; }
+  static FatTreeConfig huge_scale_k64() { return FatTreeConfig{.k = 64}; }
 };
 
 class FatTree final : public Topology {

@@ -1,5 +1,6 @@
 #include "traffic/ingest.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -113,9 +114,13 @@ FlowDeltaBatch FlowEventStream::next_batch() {
 
 void IngestQueue::push(FlowDeltaBatch batch) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock, [this] {
+      return closed_ || capacity_ == 0 || queue_.size() < capacity_;
+    });
     if (closed_) throw std::logic_error("IngestQueue: push after close");
     queue_.push_back(std::move(batch));
+    max_depth_ = std::max(max_depth_, queue_.size());
   }
   cv_.notify_one();
 }
@@ -126,14 +131,19 @@ bool IngestQueue::pop(FlowDeltaBatch& out) {
   if (queue_.empty()) return false;  // closed and drained
   out = std::move(queue_.front());
   queue_.pop_front();
+  lock.unlock();
+  space_cv_.notify_one();
   return true;
 }
 
 bool IngestQueue::try_pop(FlowDeltaBatch& out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (queue_.empty()) return false;
-  out = std::move(queue_.front());
-  queue_.pop_front();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  space_cv_.notify_one();
   return true;
 }
 
@@ -143,11 +153,17 @@ void IngestQueue::close() {
     closed_ = true;
   }
   cv_.notify_all();
+  space_cv_.notify_all();
 }
 
 std::size_t IngestQueue::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+std::size_t IngestQueue::max_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_depth_;
 }
 
 }  // namespace score::traffic

@@ -89,12 +89,23 @@ class FlowEventStream {
   util::Rng rng_;
 };
 
-/// Bounded-unbounded handoff of delta batches between one or more producers
-/// and the consumer that owns the TrafficMatrix. All operations are
-/// mutex-protected; pop() blocks until a batch arrives or the queue is
-/// closed and drained.
+/// Handoff of delta batches between one or more producers and the consumer
+/// that owns the TrafficMatrix. All operations are mutex-protected; pop()
+/// blocks until a batch arrives or the queue is closed and drained.
+///
+/// A nonzero `capacity` bounds the queue: push() blocks while the queue is
+/// full, so a collector that outpaces the consumer is throttled to the fold
+/// rate instead of growing the backlog without limit (backpressure). The
+/// high-water mark is tracked as max_depth() — a bounded queue's depth can
+/// never exceed its capacity, which the streaming-ingest bench gates.
 class IngestQueue {
  public:
+  /// `capacity` 0 (the default) leaves the queue unbounded.
+  explicit IngestQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Blocks while a bounded queue is full. Throws std::logic_error on a
+  /// closed queue — including when close() lands while blocked on space
+  /// (the batch is not enqueued).
   void push(FlowDeltaBatch batch);
 
   /// Blocking pop: false iff the queue is closed and fully drained (the
@@ -104,15 +115,24 @@ class IngestQueue {
   /// Non-blocking pop: false when currently empty (queue may still be open).
   bool try_pop(FlowDeltaBatch& out);
 
-  /// No more pushes will arrive; wakes blocked consumers.
+  /// No more pushes will arrive; wakes blocked consumers and producers.
   void close();
 
   std::size_t size() const;
 
+  /// Configured bound (0 = unbounded).
+  std::size_t capacity() const { return capacity_; }
+
+  /// High-water mark of size() observed after any push so far.
+  std::size_t max_depth() const;
+
  private:
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;        ///< consumers: not-empty or closed
+  std::condition_variable space_cv_;  ///< producers: below capacity or closed
   std::deque<FlowDeltaBatch> queue_;
+  std::size_t capacity_ = 0;
+  std::size_t max_depth_ = 0;
   bool closed_ = false;
 };
 

@@ -6,21 +6,91 @@
 
 namespace score::traffic {
 
+TrafficMatrix::TrafficMatrix(std::size_t num_vms)
+    : offsets_(num_vms + 1, 0),
+      overflow_head_(num_vms, kNoChain),
+      overflow_tail_(num_vms, kNoChain),
+      degree_(num_vms, 0) {}
+
 TrafficMatrix::TrafficMatrix(const TrafficMatrix& other)
-    : adj_(other.adj_), version_(other.version_) {}
+    : offsets_(other.offsets_),
+      cols_(other.cols_),
+      rates_(other.rates_),
+      overflow_(other.overflow_),
+      overflow_head_(other.overflow_head_),
+      overflow_tail_(other.overflow_tail_),
+      degree_(other.degree_),
+      live_directed_(other.live_directed_),
+      dead_entries_(other.dead_entries_),
+      compactions_(other.compactions_),
+      version_(other.version_) {}
 
 TrafficMatrix::TrafficMatrix(TrafficMatrix&& other) noexcept
-    : adj_(std::move(other.adj_)), version_(other.version_) {
-  other.adj_.clear();
+    : offsets_(std::move(other.offsets_)),
+      cols_(std::move(other.cols_)),
+      rates_(std::move(other.rates_)),
+      overflow_(std::move(other.overflow_)),
+      overflow_head_(std::move(other.overflow_head_)),
+      overflow_tail_(std::move(other.overflow_tail_)),
+      degree_(std::move(other.degree_)),
+      live_directed_(other.live_directed_),
+      dead_entries_(other.dead_entries_),
+      compactions_(other.compactions_),
+      version_(other.version_) {
+  other.offsets_.assign(1, 0);
+  other.cols_.clear();
+  other.rates_.clear();
+  other.overflow_.clear();
+  other.overflow_head_.clear();
+  other.overflow_tail_.clear();
+  other.degree_.clear();
+  other.live_directed_ = 0;
+  other.dead_entries_ = 0;
   ++other.version_;
 }
 
 TrafficMatrix& TrafficMatrix::operator=(const TrafficMatrix& other) {
   if (this == &other) return *this;
-  adj_ = other.adj_;
+  offsets_ = other.offsets_;
+  cols_ = other.cols_;
+  rates_ = other.rates_;
+  overflow_ = other.overflow_;
+  overflow_head_ = other.overflow_head_;
+  overflow_tail_ = other.overflow_tail_;
+  degree_ = other.degree_;
+  live_directed_ = other.live_directed_;
+  dead_entries_ = other.dead_entries_;
+  compactions_ = other.compactions_;
   // Keep our own (monotonic) version stream: consumers track *this* object's
   // counter, so a bump — not other's value, which could coincide — is what
   // invalidates them.
+  ++version_;
+  notify_bulk_update();
+  return *this;
+}
+
+TrafficMatrix& TrafficMatrix::operator=(TrafficMatrix&& other) noexcept {
+  if (this == &other) return *this;
+  offsets_ = std::move(other.offsets_);
+  cols_ = std::move(other.cols_);
+  rates_ = std::move(other.rates_);
+  overflow_ = std::move(other.overflow_);
+  overflow_head_ = std::move(other.overflow_head_);
+  overflow_tail_ = std::move(other.overflow_tail_);
+  degree_ = std::move(other.degree_);
+  live_directed_ = other.live_directed_;
+  dead_entries_ = other.dead_entries_;
+  compactions_ = other.compactions_;
+  other.offsets_.assign(1, 0);
+  other.cols_.clear();
+  other.rates_.clear();
+  other.overflow_.clear();
+  other.overflow_head_.clear();
+  other.overflow_tail_.clear();
+  other.degree_.clear();
+  other.live_directed_ = 0;
+  other.dead_entries_ = 0;
+  ++other.version_;
   ++version_;
   notify_bulk_update();
   return *this;
@@ -32,30 +102,68 @@ TrafficMatrix::~TrafficMatrix() {
   observers_.clear();
 }
 
-TrafficMatrix& TrafficMatrix::operator=(TrafficMatrix&& other) noexcept {
-  if (this == &other) return *this;
-  adj_ = std::move(other.adj_);
-  other.adj_.clear();
-  ++other.version_;
-  ++version_;
-  notify_bulk_update();
-  return *this;
+NeighborView TrafficMatrix::neighbors(VmId u) const {
+  if (u >= num_vms()) {
+    throw std::out_of_range("TrafficMatrix::neighbors: bad VM id");
+  }
+  return NeighborView(cols_.data(), rates_.data(), overflow_.data(),
+                      offsets_[u], offsets_[u + 1], overflow_head_[u],
+                      degree_[u]);
 }
 
 double TrafficMatrix::update_directed(VmId u, VmId v, double new_rate) {
-  auto& row = adj_.at(u);
-  for (auto it = row.begin(); it != row.end(); ++it) {
-    if (it->first == v) {
-      const double old = it->second;
+  // CSR segment first — the packed part of the row's iteration order.
+  const std::uint64_t seg_end = offsets_[u + 1];
+  for (std::uint64_t i = offsets_[u]; i < seg_end; ++i) {
+    if (cols_[i] == v) {
+      const double old = rates_[i];
       if (new_rate <= 0.0) {
-        row.erase(it);
+        // Tombstone in place: the survivors keep their relative order,
+        // exactly as vector::erase preserved it.
+        cols_[i] = kDead;
+        rates_[i] = 0.0;
+        --degree_[u];
+        --live_directed_;
+        ++dead_entries_;
       } else {
-        it->second = new_rate;
+        rates_[i] = new_rate;
       }
       return old;
     }
   }
-  if (new_rate > 0.0) row.emplace_back(v, new_rate);
+  // Then the overflow chain — the row's appended tail.
+  for (std::uint32_t i = overflow_head_[u]; i != kNoChain;
+       i = overflow_[i].next) {
+    if (overflow_[i].col == v) {
+      const double old = overflow_[i].rate;
+      if (new_rate <= 0.0) {
+        overflow_[i].col = kDead;
+        overflow_[i].rate = 0.0;
+        --degree_[u];
+        --live_directed_;
+        ++dead_entries_;
+      } else {
+        overflow_[i].rate = new_rate;
+      }
+      return old;
+    }
+  }
+  if (new_rate > 0.0) {
+    // New pair: append at the end of the row's iteration order (where
+    // vector::emplace_back put it). Tombstoned slots are never reused —
+    // reuse would resurrect the entry at its *old* position and change the
+    // floating-point summation order downstream.
+    const auto idx = static_cast<std::uint32_t>(overflow_.size());
+    overflow_.push_back({v, new_rate, kNoChain});
+    if (overflow_tail_[u] == kNoChain) {
+      overflow_head_[u] = idx;
+    } else {
+      overflow_[overflow_tail_[u]].next = idx;
+    }
+    overflow_tail_[u] = idx;
+    ++degree_[u];
+    ++live_directed_;
+  }
   return 0.0;
 }
 
@@ -66,6 +174,61 @@ void TrafficMatrix::commit_rate(VmId u, VmId v, double new_rate) {
   update_directed(v, u, new_rate);
   ++version_;
   notify_rate_change(u, v, old_rate, new_rate);
+  maybe_compact();
+}
+
+void TrafficMatrix::maybe_compact() {
+  // Amortised trigger: tolerate slack proportional to both the live edge set
+  // and the VM count (compaction touches every row boundary, so it must be
+  // paid for by at least O(num_vms + live) mutations — that sum is exactly
+  // one compaction's cost, so the amortised overhead per mutation is a
+  // constant). The tolerated fraction is deliberately small: chained
+  // overflow entries iterate ~4x slower than the packed segment, and
+  // read-heavy phases pay that on every Eq. (1)/(2) fold, so we trade a
+  // larger (still constant) amortised construction factor for near-clean
+  // steady-state reads.
+  if (dead_entries_ + overflow_.size() >
+      16 + live_directed_ / 64 + num_vms() / 64) {
+    compact();
+  }
+}
+
+void TrafficMatrix::compact() {
+  const std::size_t n = num_vms();
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  std::vector<VmId> cols;
+  std::vector<double> rates;
+  cols.reserve(live_directed_);
+  rates.reserve(live_directed_);
+  for (VmId u = 0; u < n; ++u) {
+    offsets[u] = cols.size();
+    // Current iteration order: CSR segment then overflow chain, tombstones
+    // skipped — re-packing in this order keeps neighbors(u) bit-identical.
+    const std::uint64_t seg_end = offsets_[u + 1];
+    for (std::uint64_t i = offsets_[u]; i < seg_end; ++i) {
+      if (cols_[i] != kDead) {
+        cols.push_back(cols_[i]);
+        rates.push_back(rates_[i]);
+      }
+    }
+    for (std::uint32_t i = overflow_head_[u]; i != kNoChain;
+         i = overflow_[i].next) {
+      if (overflow_[i].col != kDead) {
+        cols.push_back(overflow_[i].col);
+        rates.push_back(overflow_[i].rate);
+      }
+    }
+  }
+  offsets[n] = cols.size();
+  offsets_ = std::move(offsets);
+  cols_ = std::move(cols);
+  rates_ = std::move(rates);
+  overflow_.clear();
+  std::fill(overflow_head_.begin(), overflow_head_.end(), kNoChain);
+  std::fill(overflow_tail_.begin(), overflow_tail_.end(), kNoChain);
+  dead_entries_ = 0;
+  ++compactions_;
+  // Logical content unchanged: no version bump, no observer notification.
 }
 
 void TrafficMatrix::notify_rate_change(VmId u, VmId v, double old_rate,
@@ -118,22 +281,26 @@ void TrafficMatrix::add(VmId u, VmId v, double delta) {
 }
 
 double TrafficMatrix::rate(VmId u, VmId v) const {
-  const auto& row = adj_.at(u);
-  auto it = std::find_if(row.begin(), row.end(),
-                         [v](const auto& p) { return p.first == v; });
-  return it == row.end() ? 0.0 : it->second;
-}
-
-std::size_t TrafficMatrix::num_pairs() const {
-  std::size_t directed = 0;
-  for (const auto& row : adj_) directed += row.size();
-  return directed / 2;
+  if (u >= num_vms()) {
+    throw std::out_of_range("TrafficMatrix::rate: bad VM id");
+  }
+  const std::uint64_t seg_end = offsets_[u + 1];
+  for (std::uint64_t i = offsets_[u]; i < seg_end; ++i) {
+    if (cols_[i] == v) return rates_[i];
+  }
+  for (std::uint32_t i = overflow_head_[u]; i != kNoChain;
+       i = overflow_[i].next) {
+    if (overflow_[i].col == v) return overflow_[i].rate;
+  }
+  return 0.0;
 }
 
 double TrafficMatrix::total_load() const {
+  // Per-row iteration (not a flat array sweep) so the floating-point
+  // summation order matches the previous per-VM-vector layout bit for bit.
   double total = 0.0;
-  for (const auto& row : adj_) {
-    for (const auto& [peer, rate] : row) {
+  for (VmId u = 0; u < num_vms(); ++u) {
+    for (const auto& [peer, rate] : neighbors(u)) {
       (void)peer;
       total += rate;
     }
@@ -150,8 +317,9 @@ void TrafficMatrix::scale(double factor) {
 
 std::vector<std::tuple<VmId, VmId, double>> TrafficMatrix::pairs() const {
   std::vector<std::tuple<VmId, VmId, double>> out;
-  for (VmId u = 0; u < adj_.size(); ++u) {
-    for (const auto& [v, rate] : adj_[u]) {
+  out.reserve(num_pairs());
+  for (VmId u = 0; u < num_vms(); ++u) {
+    for (const auto& [v, rate] : neighbors(u)) {
       if (u < v) out.emplace_back(u, v, rate);
     }
   }

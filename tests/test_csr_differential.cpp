@@ -1,0 +1,265 @@
+// traffic/traffic_matrix CSR differential fuzz: the compact CSR +
+// overflow-side-buffer layout against a straight per-VM-vector reference
+// implementing the documented iteration-order contract (in-place overwrite
+// keeps position, erase preserves survivor order, inserts append at the row
+// tail). Random delta streams — flow up, drop-to-zero, rate jitter, whole-
+// matrix rescales — must leave the two bit-identical at every step:
+// neighbors() sequences, pairs(), rate(), num_pairs(), and the per-row
+// total_load() fold. Compaction (tombstone/overflow repacking) must be
+// invisible to all of it, and a bound CachedCostModel must fold the whole
+// stream without a single rebuild.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/cached_cost_model.hpp"
+#include "core/cost_model.hpp"
+#include "helpers.hpp"
+#include "traffic/flow_delta.hpp"
+#include "traffic/traffic_matrix.hpp"
+
+namespace {
+
+using score::core::CachedCostModel;
+using score::core::CostModel;
+using score::core::LinkWeights;
+using score::testing::random_allocation;
+using score::testing::tiny_tree_config;
+using score::topo::CanonicalTree;
+using score::traffic::FlowDelta;
+using score::traffic::TrafficMatrix;
+using score::traffic::VmId;
+
+// The pre-CSR storage, kept as the executable spec of iteration order and
+// arithmetic: one vector of (peer, rate) per VM, symmetric rows.
+class RefMatrix {
+ public:
+  explicit RefMatrix(std::size_t num_vms) : rows_(num_vms) {}
+
+  double rate(VmId u, VmId v) const {
+    for (const auto& [peer, r] : rows_[u]) {
+      if (peer == v) return r;
+    }
+    return 0.0;
+  }
+
+  void commit(VmId u, VmId v, double new_rate) {
+    if (new_rate < 0.0) new_rate = 0.0;
+    const double old = directed(u, v, new_rate);
+    if (old == new_rate) return;
+    directed(v, u, new_rate);
+  }
+
+  void apply(const FlowDelta& d) {
+    if (d.delta == 0.0) return;
+    commit(d.u, d.v, rate(d.u, d.v) + d.delta);
+  }
+
+  void scale(double factor) {
+    // Snapshot-then-commit in sorted-pair order, as TrafficMatrix::scale.
+    for (const auto& [u, v, r] : pairs()) commit(u, v, r * factor);
+  }
+
+  const std::vector<std::pair<VmId, double>>& row(VmId u) const {
+    return rows_[u];
+  }
+
+  std::vector<std::tuple<VmId, VmId, double>> pairs() const {
+    std::vector<std::tuple<VmId, VmId, double>> out;
+    for (VmId u = 0; u < rows_.size(); ++u) {
+      for (const auto& [v, r] : rows_[u]) {
+        if (u < v) out.emplace_back(u, v, r);
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) {
+                return std::make_pair(std::get<0>(a), std::get<1>(a)) <
+                       std::make_pair(std::get<0>(b), std::get<1>(b));
+              });
+    return out;
+  }
+
+  double total_load() const {
+    double total = 0.0;
+    for (const auto& row : rows_) {
+      for (const auto& [peer, r] : row) {
+        (void)peer;
+        total += r;
+      }
+    }
+    return total / 2.0;
+  }
+
+ private:
+  double directed(VmId u, VmId v, double new_rate) {
+    auto& row = rows_[u];
+    for (auto it = row.begin(); it != row.end(); ++it) {
+      if (it->first == v) {
+        const double old = it->second;
+        if (new_rate <= 0.0) {
+          row.erase(it);  // survivors keep their relative order
+        } else {
+          it->second = new_rate;  // overwrite in place keeps position
+        }
+        return old;
+      }
+    }
+    if (new_rate > 0.0) row.emplace_back(v, new_rate);  // append at tail
+    return 0.0;
+  }
+
+  std::vector<std::vector<std::pair<VmId, double>>> rows_;
+};
+
+// Every row, in order, bit for bit. EXPECT_EQ on doubles is deliberate:
+// the CSR layout claims *identical* arithmetic, not merely close.
+void expect_identical(const TrafficMatrix& tm, const RefMatrix& ref,
+                      std::size_t tick) {
+  for (VmId u = 0; u < tm.num_vms(); ++u) {
+    const auto& expect = ref.row(u);
+    std::vector<std::pair<VmId, double>> got;
+    for (const auto& [v, r] : tm.neighbors(u)) got.emplace_back(v, r);
+    ASSERT_EQ(got.size(), expect.size()) << "tick " << tick << " vm " << u;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].first, expect[i].first)
+          << "tick " << tick << " vm " << u << " slot " << i;
+      ASSERT_EQ(got[i].second, expect[i].second)
+          << "tick " << tick << " vm " << u << " slot " << i;
+    }
+    // for_each_neighbor (the hot-loop twin) must walk the same sequence.
+    std::vector<std::pair<VmId, double>> walked;
+    tm.for_each_neighbor(u, [&](VmId v, double r) { walked.emplace_back(v, r); });
+    ASSERT_EQ(walked, got) << "tick " << tick << " vm " << u;
+  }
+  const auto tm_pairs = tm.pairs();
+  const auto ref_pairs = ref.pairs();
+  ASSERT_EQ(tm_pairs, ref_pairs) << "tick " << tick;
+  ASSERT_EQ(tm.num_pairs(), ref_pairs.size()) << "tick " << tick;
+  ASSERT_EQ(tm.total_load(), ref.total_load()) << "tick " << tick;
+}
+
+TEST(CsrDifferential, RandomDeltaStreamStaysBitIdenticalToReference) {
+  constexpr std::size_t kNumVms = 40;
+  constexpr std::size_t kTicks = 50;
+  constexpr std::size_t kOpsPerTick = 48;
+
+  TrafficMatrix tm(kNumVms);
+  RefMatrix ref(kNumVms);
+
+  // Bound cache: the whole stream must fold through the observer seam.
+  CanonicalTree topo(tiny_tree_config());
+  LinkWeights weights = LinkWeights::exponential(3);
+  CachedCostModel cached(topo, weights);
+  CostModel brute(topo, weights);
+  score::util::Rng place_rng(11);
+  auto alloc = random_allocation(topo, kNumVms, place_rng);
+  cached.bind(alloc, tm);
+  const std::uint64_t rebuilds_at_bind = cached.rebuilds();
+
+  score::util::Rng rng(2024);
+  // Track live pairs so drop-to-zero can retract an existing flow exactly.
+  auto pick_pair = [&](VmId& u, VmId& v) {
+    u = static_cast<VmId>(rng.index(kNumVms));
+    v = static_cast<VmId>(rng.index(kNumVms));
+    if (u == v) v = (v + 1) % kNumVms;
+  };
+
+  for (std::size_t tick = 0; tick < kTicks; ++tick) {
+    for (std::size_t op = 0; op < kOpsPerTick; ++op) {
+      const double draw = rng.uniform();
+      VmId u, v;
+      pick_pair(u, v);
+      if (draw < 0.35) {
+        // Flow up (or additive bump of an existing flow).
+        const double r = rng.lognormal(0.0, 1.0);
+        tm.apply(FlowDelta{u, v, r});
+        ref.apply(FlowDelta{u, v, r});
+      } else if (draw < 0.60) {
+        // Drop to exactly zero: retract the current rate as a delta so the
+        // tombstone/erase path runs on a live entry (no-op when absent).
+        const double r = tm.rate(u, v);
+        if (r > 0.0) {
+          tm.apply(FlowDelta{u, v, -r});
+          ref.apply(FlowDelta{u, v, -r});
+        } else {
+          tm.set(u, v, 0.0);
+          ref.commit(u, v, 0.0);
+        }
+      } else if (draw < 0.95) {
+        // Rate jitter, signed: exercises overwrite-in-place and the
+        // clamp-to-zero path when the delta overshoots.
+        const double d = rng.normal(0.0, 0.8);
+        tm.apply(FlowDelta{u, v, d});
+        ref.apply(FlowDelta{u, v, d});
+      } else {
+        // Set to a fresh absolute rate through the non-delta mutator.
+        const double r = rng.uniform() * 3.0;
+        tm.set(u, v, r);
+        ref.commit(u, v, r);
+      }
+    }
+    // Occasional whole-matrix rescale (the pairs()-snapshot mutator).
+    if (tick % 16 == 9) {
+      tm.scale(1.25);
+      ref.scale(1.25);
+    }
+    expect_identical(tm, ref, tick);
+
+    // The cached Eq. (2) total tracks brute force on the live matrix (and
+    // under SCORE_CHECK_CACHE every fold above already self-verified).
+    const double b = brute.total_cost(alloc, tm);
+    EXPECT_NEAR(cached.total_cost(alloc, tm), b, 1e-7 * (1.0 + std::abs(b)))
+        << "tick " << tick;
+  }
+
+  // The churn rate above must have crossed the compaction trigger — the
+  // boundary this fuzz exists to walk — and folded with zero rebuilds.
+  EXPECT_GT(tm.compactions(), 0u);
+  EXPECT_EQ(cached.rebuilds(), rebuilds_at_bind);
+
+  // Copies preserve the packed layout bit for bit: same iteration order,
+  // same Eq. (2) fold.
+  const TrafficMatrix copy = tm;
+  for (VmId u = 0; u < tm.num_vms(); ++u) {
+    std::vector<std::pair<VmId, double>> a, b;
+    for (const auto& [peer, r] : tm.neighbors(u)) a.emplace_back(peer, r);
+    for (const auto& [peer, r] : copy.neighbors(u)) b.emplace_back(peer, r);
+    ASSERT_EQ(a, b) << "vm " << u;
+  }
+  EXPECT_EQ(brute.total_cost(alloc, tm), brute.total_cost(alloc, copy));
+}
+
+TEST(CsrDifferential, TombstoneHeavyStreamNeverResurrectsErasedFlows) {
+  // Adversarial pattern for the tombstone/overflow machinery: repeatedly
+  // fill a hub VM's row, then erase every other entry, then refill — the
+  // worst case for dead-slot handling and chain iteration.
+  constexpr std::size_t kNumVms = 24;
+  TrafficMatrix tm(kNumVms);
+  RefMatrix ref(kNumVms);
+  score::util::Rng rng(7);
+
+  for (std::size_t round = 0; round < 30; ++round) {
+    const VmId hub = static_cast<VmId>(round % 3);
+    for (VmId v = 0; v < kNumVms; ++v) {
+      if (v == hub) continue;
+      const double r = 1.0 + rng.uniform();
+      tm.set(hub, v, r);
+      ref.commit(hub, v, r);
+    }
+    std::size_t i = 0;
+    for (VmId v = 0; v < kNumVms; ++v) {
+      if (v == hub) continue;
+      if (i++ % 2 == round % 2) {
+        tm.set(hub, v, 0.0);
+        ref.commit(hub, v, 0.0);
+      }
+    }
+    expect_identical(tm, ref, round);
+  }
+  EXPECT_GT(tm.compactions(), 0u);
+}
+
+}  // namespace

@@ -131,6 +131,64 @@ TEST_F(ShardedOracleTest, ShardWalksAreIsolatedAndReconcileTracksMerge) {
               1e-7 * (1.0 + std::abs(brute_.total_cost(master, tm))));
 }
 
+TEST_F(ShardedOracleTest, IncrementalBeginPassResyncsSnapshotsToMaster) {
+  Rng rng(73);
+  const std::size_t num_vms = 64;
+  auto tm = random_tm(num_vms, 3.0, rng);
+  auto master = random_allocation(topo_, num_vms, rng);
+
+  const auto partitions = partition_vms(num_vms, 4);
+  ShardedCostOracle oracle(topo_, weights_, partitions);
+  oracle.begin_pass(master, tm, ExecPolicy::par(2));
+
+  // Walk phase: each shard commits a local move on its private snapshot.
+  std::vector<score::core::VmId> touched;
+  for (std::size_t t = 0; t < oracle.num_shards(); ++t) {
+    auto& snap = oracle.shard_alloc(t);
+    const auto& model = oracle.shard_model(t);
+    MigrationEngine engine(model);
+    const auto d = engine.evaluate(snap, tm, partitions[t].first);
+    if (d.migrate) {
+      model.apply_migration(snap, tm, partitions[t].first, d.target);
+      touched.push_back(partitions[t].first);
+    }
+  }
+  // Merge phase: commit a subset (every other proposal) on the master.
+  for (std::size_t i = 0; i < touched.size(); i += 2) {
+    const auto vm = touched[i];
+    const MigrationEngine master_engine(brute_);
+    const auto d = master_engine.evaluate(master, tm, vm);
+    if (d.migrate) brute_.apply_migration(master, tm, vm, d.target);
+  }
+
+  // Incremental barrier: every snapshot must equal the master again, and the
+  // cached Eq. (2) totals must match brute force without a rebuild.
+  for (const ExecPolicy policy : {ExecPolicy::seq(), ExecPolicy::par(3)}) {
+    oracle.begin_pass(master, tm, policy, touched);
+    const double expected = brute_.total_cost(master, tm);
+    for (std::size_t t = 0; t < oracle.num_shards(); ++t) {
+      const auto& snap = oracle.shard_alloc(t);
+      ASSERT_TRUE(snap.check_consistency());
+      for (score::core::VmId u = 0; u < num_vms; ++u) {
+        ASSERT_EQ(snap.server_of(u), master.server_of(u))
+            << "shard " << t << " vm " << u << " under " << policy.name();
+      }
+      EXPECT_NEAR(oracle.shard_model(t).total_cost(snap, tm), expected,
+                  1e-7 * (1.0 + std::abs(expected)));
+    }
+  }
+
+  // An incomplete-snapshot oracle (fresh instance) silently falls back to
+  // the full-copy path on the touched overload.
+  ShardedCostOracle fresh(topo_, weights_, partitions);
+  fresh.begin_pass(master, tm, ExecPolicy::seq(), touched);
+  for (std::size_t t = 0; t < fresh.num_shards(); ++t) {
+    for (score::core::VmId u = 0; u < num_vms; ++u) {
+      ASSERT_EQ(fresh.shard_alloc(t).server_of(u), master.server_of(u));
+    }
+  }
+}
+
 TEST_F(ShardedOracleTest, ShardAllocBeforeBeginPassThrows) {
   ShardedCostOracle oracle(topo_, weights_, partition_vms(16, 2));
   EXPECT_THROW(oracle.shard_alloc(0), std::logic_error);

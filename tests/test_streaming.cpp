@@ -7,6 +7,8 @@
 // the concurrent ingest + optimiser shape the TSan CI job runs.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <thread>
 #include <vector>
@@ -369,6 +371,18 @@ TEST(DriftTriggerEngine, AboveThresholdExactlyOne) {
   EXPECT_EQ(report.reopts.size(), 1u);
 }
 
+TEST(DriftTriggerEngine, BoundedQueueReportsDepthWithinCapacity) {
+  CanonicalTree topo(tiny_tree_config());
+  StreamingConfig cfg = small_streaming_config();
+  cfg.queue_capacity = 2;
+  StreamingEngine engine(topo, cfg);
+  const StreamingReport report = engine.run();
+  EXPECT_GE(report.max_queue_depth, 1u);
+  EXPECT_LE(report.max_queue_depth, 2u);
+  // Backpressure must not drop batches: every tick still arrives.
+  EXPECT_EQ(report.ticks, cfg.ticks);
+}
+
 // ------------------------------------------------------------- ingest queue
 
 TEST(IngestQueueTest, FifoAndCloseSemantics) {
@@ -389,6 +403,78 @@ TEST(IngestQueueTest, FifoAndCloseSemantics) {
   EXPECT_FALSE(queue.pop(out));  // closed and empty
   EXPECT_FALSE(queue.try_pop(out));
   EXPECT_THROW(queue.push(a), std::logic_error);
+}
+
+TEST(IngestQueueTest, BoundedPushBlocksUntilPopMakesSpace) {
+  IngestQueue queue(2);
+  EXPECT_EQ(queue.capacity(), 2u);
+  FlowDeltaBatch batch;
+  batch.push(0, 1, 1.0);
+  queue.push(batch);
+  queue.push(batch);
+  EXPECT_EQ(queue.size(), 2u);
+
+  // A third push must block until the consumer drains a slot.
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    FlowDeltaBatch third;
+    third.push(2, 3, 3.0);
+    queue.push(std::move(third));  // blocks here while the queue is full
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.size(), 2u);
+
+  FlowDeltaBatch out;
+  ASSERT_TRUE(queue.pop(out));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.size(), 2u);
+  // Depth never exceeded the bound while the producer waited.
+  EXPECT_EQ(queue.max_depth(), 2u);
+}
+
+TEST(IngestQueueTest, CloseWhileBlockedOnFullThrowsInProducer) {
+  IngestQueue queue(1);
+  FlowDeltaBatch batch;
+  batch.push(0, 1, 1.0);
+  queue.push(batch);
+
+  std::atomic<bool> threw{false};
+  std::thread producer([&] {
+    try {
+      FlowDeltaBatch second;
+      second.push(2, 3, 2.0);
+      queue.push(std::move(second));  // blocked on full ...
+    } catch (const std::logic_error&) {
+      threw = true;  // ... then close() lands: same contract as push-after
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  producer.join();
+  EXPECT_TRUE(threw.load());
+  // The blocked batch was never enqueued.
+  FlowDeltaBatch out;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, batch);
+  EXPECT_FALSE(queue.pop(out));
+}
+
+TEST(IngestQueueTest, MaxDepthTracksHighWaterMark) {
+  IngestQueue queue;  // unbounded
+  EXPECT_EQ(queue.capacity(), 0u);
+  EXPECT_EQ(queue.max_depth(), 0u);
+  FlowDeltaBatch batch;
+  batch.push(0, 1, 1.0);
+  for (int i = 0; i < 5; ++i) queue.push(batch);
+  FlowDeltaBatch out;
+  while (queue.try_pop(out)) {
+  }
+  queue.push(batch);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.max_depth(), 5u);  // the mark survives draining
 }
 
 TEST(IngestQueueTest, ProducerConsumerHandoff) {

@@ -24,7 +24,14 @@ Two modes:
           percentage points (default 1.0),
         * updates_per_sec (the streaming-ingest fold-throughput metric)
           dropped by more than --updates-tolerance fractional (default 0.4,
-          i.e. -40%; throughput only gates downward — speedups pass).
+          i.e. -40%; throughput only gates downward — speedups pass),
+        * bytes_per_vm (the huge-scale peak-RSS footprint) grew by more
+          than --bytes-tolerance fractional (default 0.25, i.e. +25%;
+          one-sided — shrinking always passes),
+        * ns_per_migration (the huge-scale end-to-end migration latency)
+          grew by more than --migration-tolerance fractional (default 0.5,
+          i.e. +50%; one-sided — wall-clock timing is noisier across hosts
+          than the memory footprint, hence the wider band).
 
       Scenarios present only in the baseline (e.g. the paper-scale suite
       when CI runs --scale default) are reported as skipped, not failed.
@@ -46,7 +53,7 @@ import json
 import sys
 
 SCHEMA = "score-bench/v1"
-SCALES = {"default", "paper"}
+SCALES = {"default", "paper", "huge"}
 REQUIRED_FIELDS = {
     "suite": str,
     "scenario": str,
@@ -173,6 +180,21 @@ def compare(baseline: dict, candidate: dict, args: argparse.Namespace) -> int:
                       f"{b['updates_per_sec']:.4g} -> "
                       f"{c['updates_per_sec']:.4g} ({ratio:.2f}x)")
 
+        # One-sided growth gates (huge-scale suite): memory footprint and
+        # end-to-end migration latency only fail upward — improvements pass.
+        for field, tolerance in (("bytes_per_vm", args.bytes_tolerance),
+                                 ("ns_per_migration", args.migration_tolerance)):
+            if field in b and field in c and b[field] > 0:
+                ratio = c[field] / b[field]
+                if ratio > 1.0 + tolerance:
+                    fail(f"{name}: {field} regressed {b[field]:.4g} -> "
+                         f"{c[field]:.4g} ({ratio:.2f}x, allowed up to "
+                         f"{1.0 + tolerance:.2f}x)")
+                    failures += 1
+                else:
+                    print(f"bench_compare: ok {name}: {field} "
+                          f"{b[field]:.4g} -> {c[field]:.4g} ({ratio:.2f}x)")
+
         dr = abs(c["cost_reduction_pct"] - b["cost_reduction_pct"])
         if dr > args.reduction_atol:
             fail(f"{name}: cost_reduction_pct diverged "
@@ -207,6 +229,12 @@ def main() -> int:
     parser.add_argument("--updates-tolerance", type=float, default=0.4,
                         help="allowed fractional updates_per_sec drop (default 0.4 "
                              "= -40%%; increases never fail)")
+    parser.add_argument("--bytes-tolerance", type=float, default=0.25,
+                        help="allowed fractional bytes_per_vm growth (default 0.25 "
+                             "= +25%%; decreases never fail)")
+    parser.add_argument("--migration-tolerance", type=float, default=0.5,
+                        help="allowed fractional ns_per_migration growth (default "
+                             "0.5 = +50%%; decreases never fail)")
     parser.add_argument("--fail-on-new", dest="fail_on_new", action="store_true",
                         default=True,
                         help="fail when the candidate has scenarios absent from the "

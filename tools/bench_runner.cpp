@@ -8,8 +8,9 @@
 // trajectory file via tools/bench_compare.py to show its perf delta.
 //
 // Usage:
-//   bench_runner [--out FILE] [--quick] [--scale default|paper] [--threads N]
-//               [--suite NAME] [--mode both|centralized|distributed]
+//   bench_runner [--out FILE] [--quick] [--scale default|paper|huge]
+//               [--threads N] [--suite NAME]
+//               [--mode both|centralized|distributed]
 //
 //   --quick   shrink the GA normaliser budget and micro rep counts so the
 //             whole run finishes in a few seconds (CI smoke); ratios are
@@ -25,13 +26,18 @@
 //             robustness, trace determinism — all hard-checked).
 //             These skip the GA normaliser (intractable at that size) and
 //             report absolute reduction plus cached/brute-force cost-oracle
-//             timings. Default: "default" (the fast trajectory subset).
+//             timings. "huge" is a superset of "paper": it additionally runs
+//             the mega-scale suite — fat-tree k=48 (27648 hosts) and k=64
+//             (65536 hosts), and the canonical 1M-VM world (128000 hosts,
+//             16 VM slots per host at 50% occupancy) — recording peak-RSS
+//             bytes_per_vm and end-to-end ns_per_migration, both hard-gated
+//             one-sided. Default: "default" (the fast trajectory subset).
 //   --threads max worker threads for the tokens × threads ablation
 //             (default 4).
 //   --suite   run only one suite: fig2 | fig3 | micro | paper-scale |
 //             tokens-threads | dist-vs-centralized | steady-state |
-//             streaming-ingest (default: all suites the selected scale
-//             includes). The CI multi-core re-measure job uses `--scale
+//             streaming-ingest | huge-scale (default: all suites the
+//             selected scale includes). The CI multi-core re-measure job uses `--scale
 //             paper --suite tokens-threads`. steady-state is the §VI-B
 //             continuous-operation suite: VM lifecycle churn over dynamic
 //             traffic epochs, distributed re-optimisation per epoch,
@@ -47,11 +53,18 @@
 #include <chrono>
 #include <cmath>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "bench_common.hpp"
+#include "core/scenario_io.hpp"
 #include "core/token_policy.hpp"
 #include "driver/continuous.hpp"
 #include "driver/convergence.hpp"
@@ -67,6 +80,7 @@ using namespace score;
 
 bool g_quick = false;
 bool g_paper_suite = false;
+bool g_huge_suite = false;
 std::size_t g_threads = 4;  // --threads: max workers for the tokens ablation
 std::string g_mode = "both";  // --mode: dist-vs-centralized restriction
 
@@ -861,6 +875,10 @@ bool run_streaming_ingest(bench::JsonReport& report) {
     // Quick mode still needs enough ticks for drift to cross the trigger
     // threshold on the big fleet (3 events/VM total at 6 ticks).
     cfg.ticks = g_quick ? 6 : 12;
+    // Bounded ingest: the producer easily outruns a consumer that stops to
+    // re-optimise, so backpressure is what keeps the backlog (and staleness)
+    // finite. The queue's high-water mark is hard-gated below.
+    cfg.queue_capacity = 4;
     cfg.drift_threshold = 0.05;
     cfg.tokens = 4;
     // Match the re-opt budget to the fresh reference's: the band compares
@@ -879,6 +897,14 @@ bool run_streaming_ingest(bench::JsonReport& report) {
       std::cerr << "[streaming-ingest] BAND FAILURE: " << spec.name
                 << " max cost ratio " << res.max_cost_ratio() << " vs band "
                 << 1.0 + kDriftBand << "\n";
+      ok = false;
+    }
+    // Backpressure gate: a bounded queue's depth can never exceed its
+    // capacity — a violation means push() stopped blocking on full.
+    if (res.max_queue_depth > cfg.queue_capacity) {
+      std::cerr << "[streaming-ingest] BACKPRESSURE FAILURE: " << spec.name
+                << " max queue depth " << res.max_queue_depth
+                << " > capacity " << cfg.queue_capacity << "\n";
       ok = false;
     }
 
@@ -900,6 +926,8 @@ bool run_streaming_ingest(bench::JsonReport& report) {
     rec.metric("deltas_applied", static_cast<double>(res.deltas_applied));
     rec.metric("deltas_folded", static_cast<double>(res.deltas_folded));
     rec.metric("cache_rebuilds", static_cast<double>(res.cache_rebuilds));
+    rec.metric("queue_capacity", static_cast<double>(cfg.queue_capacity));
+    rec.metric("max_queue_depth", static_cast<double>(res.max_queue_depth));
     rec.metric("reopts", static_cast<double>(res.reopts.size()));
     rec.metric("deltas_per_reopt", res.deltas_per_reopt());
     rec.metric("updates_per_sec",
@@ -914,6 +942,165 @@ bool run_streaming_ingest(bench::JsonReport& report) {
               << " deltas (" << res.deltas_per_reopt()
               << " per re-opt), max ratio vs fresh " << res.max_cost_ratio()
               << " in " << wall << "s wall\n";
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Huge-scale suite (--scale huge): the mega-scale memory/latency envelope.
+// ---------------------------------------------------------------------------
+
+/// Peak resident set of this process, in bytes. Prefers VmHWM from
+/// /proc/self/status (resettable via /proc/self/clear_refs, so per-scenario
+/// peaks don't shadow each other); falls back to the monotone getrusage
+/// ru_maxrss where procfs is unavailable.
+std::uint64_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::uint64_t kb = 0;
+      for (const char c : line) {
+        if (c >= '0' && c <= '9') kb = kb * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+      if (kb > 0) return kb * 1024;
+    }
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KB on Linux
+  }
+#endif
+  return 0;
+}
+
+/// Reset the kernel's peak-RSS watermark (Linux: "5" to clear_refs). Best
+/// effort — when it fails, peak_rss_bytes() degrades to a monotone peak and
+/// bytes_per_vm becomes an upper bound (still valid for the one-sided gate).
+void reset_peak_rss() {
+  std::ofstream clear_refs("/proc/self/clear_refs");
+  if (clear_refs) clear_refs << "5\n";
+}
+
+// Mega-scale suite: the CSR traffic store, arena-packed oracle, and O(1)
+// comm-level topology carried to datacenter sizes the per-VM-vector layout
+// could not reach. Fat-tree k=48 (27648 hosts / 221184 VMs), k=64 (65536
+// hosts / 524288 VMs), and the canonical 1M-VM world (128000 hosts /
+// 1024000 VMs) each run end-to-end: generate the fleet, bind the cached
+// oracle, run fixed Round-Robin token passes, and stream the scenario
+// snapshot through the O(max_degree) writer. Two hard one-sided gates:
+//   bytes_per_vm        peak RSS / num_vms        <= kMaxBytesPerVm
+//   ns_per_migration    sim wall / migrations     <= kMaxNsPerMigration
+// --quick trims the suite to fat-tree-k48 (the CI smoke tier).
+bool run_huge_scale(bench::JsonReport& report) {
+  struct Spec {
+    std::string name;
+    std::function<std::unique_ptr<topo::Topology>()> make;
+  };
+  std::vector<Spec> specs;
+  specs.push_back({"fat-tree-k48", [] {
+                     return std::make_unique<topo::FatTree>(
+                         topo::FatTreeConfig::huge_scale_k48());
+                   }});
+  if (!g_quick) {
+    specs.push_back({"fat-tree-k64", [] {
+                       return std::make_unique<topo::FatTree>(
+                           topo::FatTreeConfig::huge_scale_k64());
+                     }});
+    specs.push_back({"canonical-1m-vm", [] {
+                       return std::make_unique<topo::CanonicalTree>(
+                           topo::CanonicalTreeConfig::huge_scale());
+                     }});
+  }
+
+  // Measured on the reference host: ~250-290 bytes/VM and ~5.5-6.5 us per
+  // migration across all three scenarios. The gates leave ~4x (memory) and
+  // ~15x (latency, noisier across hosts) headroom — a per-VM-vector layout
+  // or an O(n) begin_pass regression blows through either immediately.
+  constexpr double kMaxBytesPerVm = 1024.0;
+  constexpr double kMaxNsPerMigration = 100000.0;  // 100 us end-to-end
+  bool ok = true;
+
+  for (const Spec& spec : specs) {
+    reset_peak_rss();
+    bench::Stopwatch sw;
+    const std::unique_ptr<topo::Topology> topology = spec.make();
+    PaperFleet fleet = make_paper_fleet(*topology);
+    const std::size_t num_vms = fleet.num_vms;
+    traffic::TrafficMatrix& tm = fleet.tm;
+    core::Allocation& alloc = fleet.alloc;
+
+    core::CachedCostModel model(*topology, core::LinkWeights::exponential(3));
+    model.bind(alloc, tm);
+    core::MigrationEngine engine(model);
+    core::RoundRobinPolicy rr;
+    driver::SimConfig cfg;
+    cfg.iterations = 2;  // fixed even under --quick: rows stay comparable
+    cfg.stop_when_stable = false;
+    driver::ScoreSimulation sim(engine, rr, alloc, tm);
+
+    bench::Stopwatch sim_sw;
+    const driver::SimResult res = sim.run(cfg);
+    const double sim_wall = sim_sw.elapsed_s();
+
+    // Streaming snapshot writer: the whole world through O(max_degree)
+    // buffering (a 1M-VM scenario must not materialise a pairs() vector).
+    bench::Stopwatch save_sw;
+    std::ofstream null_out("/dev/null");
+    core::save_scenario(null_out, alloc, tm);
+    const double save_wall = save_sw.elapsed_s();
+
+    const std::uint64_t peak_rss = peak_rss_bytes();
+    const double bytes_per_vm =
+        num_vms > 0 ? static_cast<double>(peak_rss) / static_cast<double>(num_vms)
+                    : 0.0;
+    const double ns_per_migration =
+        res.total_migrations > 0
+            ? 1e9 * sim_wall / static_cast<double>(res.total_migrations)
+            : 0.0;
+
+    if (bytes_per_vm <= 0.0 || bytes_per_vm > kMaxBytesPerVm) {
+      std::cerr << "[huge-scale] MEMORY FAILURE: " << spec.name << " "
+                << bytes_per_vm << " bytes/VM outside (0, " << kMaxBytesPerVm
+                << "] (peak RSS " << peak_rss << " B over " << num_vms
+                << " VMs)\n";
+      ok = false;
+    }
+    if (ns_per_migration <= 0.0 || ns_per_migration > kMaxNsPerMigration) {
+      std::cerr << "[huge-scale] LATENCY FAILURE: " << spec.name << " "
+                << ns_per_migration << " ns/migration outside (0, "
+                << kMaxNsPerMigration << "] (" << res.total_migrations
+                << " migrations in " << sim_wall << "s)\n";
+      ok = false;
+    }
+
+    bench::BenchRecord rec;
+    rec.suite = "huge-scale";
+    rec.scenario = spec.name;
+    rec.wall_time_s = sw.elapsed_s();
+    rec.cost_reduction_pct = 100.0 * res.reduction();
+    rec.migrations = res.total_migrations;
+    rec.metric("num_hosts", static_cast<double>(topology->num_hosts()));
+    rec.metric("num_vms", static_cast<double>(num_vms));
+    rec.metric("iterations", static_cast<double>(res.iterations.size()));
+    rec.metric("sim_wall_s", sim_wall);
+    rec.metric("peak_rss_bytes", static_cast<double>(peak_rss));
+    rec.metric("bytes_per_vm", bytes_per_vm);
+    rec.metric("ns_per_migration", ns_per_migration);
+    rec.metric("scenario_save_s", save_wall);
+    rec.metric("traffic_pairs", static_cast<double>(tm.num_pairs()));
+    rec.metric("csr_entries", static_cast<double>(tm.csr_entries()));
+    rec.metric("overflow_entries", static_cast<double>(tm.overflow_entries()));
+    rec.metric("compactions", static_cast<double>(tm.compactions()));
+    rec.metric("final_cost", res.final_cost);
+    report.add(rec);
+    std::cerr << "[huge-scale] " << spec.name << ": " << topology->num_hosts()
+              << " hosts, " << num_vms << " VMs, " << bytes_per_vm
+              << " bytes/VM peak, " << ns_per_migration << " ns/migration ("
+              << res.total_migrations << " migrations, reduction "
+              << rec.cost_reduction_pct << "%), snapshot streamed in "
+              << save_wall << "s\n";
   }
   return ok;
 }
@@ -939,8 +1126,9 @@ int main(int argc, char** argv) {
       g_threads = static_cast<std::size_t>(n);
     } else if (arg == "--scale" && i + 1 < argc) {
       scale = argv[++i];
-      if (scale != "default" && scale != "paper") {
-        std::cerr << "bench_runner: --scale must be 'default' or 'paper'\n";
+      if (scale != "default" && scale != "paper" && scale != "huge") {
+        std::cerr << "bench_runner: --scale must be 'default', 'paper' or "
+                     "'huge'\n";
         return 2;
       }
     } else if (arg == "--suite" && i + 1 < argc) {
@@ -948,10 +1136,12 @@ int main(int argc, char** argv) {
       if (suite != "all" && suite != "fig2" && suite != "fig3" &&
           suite != "micro" && suite != "paper-scale" &&
           suite != "tokens-threads" && suite != "dist-vs-centralized" &&
-          suite != "steady-state" && suite != "streaming-ingest") {
+          suite != "steady-state" && suite != "streaming-ingest" &&
+          suite != "huge-scale") {
         std::cerr << "bench_runner: --suite must be one of all, fig2, fig3, "
                      "micro, paper-scale, tokens-threads, "
-                     "dist-vs-centralized, steady-state, streaming-ingest\n";
+                     "dist-vs-centralized, steady-state, streaming-ingest, "
+                     "huge-scale\n";
         return 2;
       }
     } else if (arg == "--mode" && i + 1 < argc) {
@@ -963,12 +1153,15 @@ int main(int argc, char** argv) {
       }
     } else {
       std::cerr << "usage: bench_runner [--out FILE] [--quick] "
-                   "[--scale default|paper] [--threads N] [--suite NAME] "
+                   "[--scale default|paper|huge] [--threads N] [--suite NAME] "
                    "[--mode both|centralized|distributed]\n";
       return 2;
     }
   }
-  g_paper_suite = scale == "paper";
+  // "huge" is a strict superset of "paper": a single `--scale huge` run
+  // regenerates every row of BENCH_results.json (default + paper + huge).
+  g_paper_suite = scale == "paper" || scale == "huge";
+  g_huge_suite = scale == "huge";
   const auto want = [&suite](const char* name) {
     return suite == "all" || suite == name;
   };
@@ -986,6 +1179,9 @@ int main(int argc, char** argv) {
     if (want("dist-vs-centralized")) ok = run_dist_vs_centralized(report) && ok;
     if (want("steady-state")) ok = run_steady_state(report) && ok;
     if (want("streaming-ingest")) ok = run_streaming_ingest(report) && ok;
+  }
+  if (g_huge_suite) {
+    if (want("huge-scale")) ok = run_huge_scale(report) && ok;
   }
   if (report.size() == 0) {
     std::cerr << "bench_runner: --suite " << suite

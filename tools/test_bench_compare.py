@@ -39,7 +39,9 @@ def make_doc(records):
 
 def gate_args(**overrides):
     defaults = dict(ns_tolerance=0.25, ns_floor=100.0, checksum_rtol=1e-6,
-                    reduction_atol=1.0, updates_tolerance=0.4, fail_on_new=True)
+                    reduction_atol=1.0, updates_tolerance=0.4,
+                    bytes_tolerance=0.25, migration_tolerance=0.5,
+                    fail_on_new=True)
     defaults.update(overrides)
     return argparse.Namespace(**defaults)
 
@@ -144,6 +146,46 @@ class CompareTests(unittest.TestCase):
         base = [make_record(updates_per_sec=2e6)]
         cand = [make_record(updates_per_sec=1.5e6)]  # -25%
         self.assertEqual(self.run_compare(base, cand, updates_tolerance=0.1), 1)
+
+    def test_bytes_per_vm_growth_over_tolerance_trips_gate(self):
+        base = [make_record(bytes_per_vm=300.0)]
+        cand = [make_record(bytes_per_vm=400.0)]  # +33% > +25%
+        self.assertEqual(self.run_compare(base, cand), 1)
+
+    def test_bytes_per_vm_growth_within_tolerance_passes(self):
+        base = [make_record(bytes_per_vm=300.0)]
+        cand = [make_record(bytes_per_vm=360.0)]  # +20%
+        self.assertEqual(self.run_compare(base, cand), 0)
+
+    def test_bytes_per_vm_shrink_never_fails(self):
+        base = [make_record(bytes_per_vm=1000.0)]
+        cand = [make_record(bytes_per_vm=250.0)]  # 4x smaller
+        self.assertEqual(self.run_compare(base, cand), 0)
+
+    def test_bytes_tolerance_is_adjustable(self):
+        base = [make_record(bytes_per_vm=300.0)]
+        cand = [make_record(bytes_per_vm=330.0)]  # +10%
+        self.assertEqual(self.run_compare(base, cand, bytes_tolerance=0.05), 1)
+
+    def test_ns_per_migration_growth_over_tolerance_trips_gate(self):
+        base = [make_record(ns_per_migration=6000.0)]
+        cand = [make_record(ns_per_migration=10000.0)]  # +66% > +50%
+        self.assertEqual(self.run_compare(base, cand), 1)
+
+    def test_ns_per_migration_growth_within_tolerance_passes(self):
+        base = [make_record(ns_per_migration=6000.0)]
+        cand = [make_record(ns_per_migration=8000.0)]  # +33%
+        self.assertEqual(self.run_compare(base, cand), 0)
+
+    def test_ns_per_migration_speedup_never_fails(self):
+        base = [make_record(ns_per_migration=10000.0)]
+        cand = [make_record(ns_per_migration=2000.0)]  # 5x faster
+        self.assertEqual(self.run_compare(base, cand), 0)
+
+    def test_huge_scale_accepted_by_validate(self):
+        doc = make_doc([make_record()])
+        doc["scale"] = "huge"
+        self.assertEqual(bc.validate(doc, "f"), [])
 
     def test_new_scenario_fails_by_default(self):
         base = [make_record()]
