@@ -134,6 +134,20 @@ class RuntimeCore {
   /// The convergence ledger, read-only (the remote executor cross-checks
   /// replica hold/migration counts against it at shutdown).
   virtual const RunControl& run_control() const = 0;
+  /// The runtime's event queue. An executor that defers work (the remote
+  /// executor pipelines stateless probe deliveries) schedules its drain at
+  /// the current timestamp so replayed effects keep their virtual time.
+  virtual sim::EventQueue& event_queue() = 0;
+  /// An executor that can lose agents mid-run (the remote executor with a
+  /// reconnect acceptor) calls this at start so the runtime retains the
+  /// token snapshot the failover watchdog re-injects from. No-op for
+  /// executors that cannot fail.
+  virtual void enable_failover_recovery() = 0;
+  /// A daemon's hosts were redistributed and its undelivered decision state
+  /// discarded — if the token was inside it, it is gone. Arms the token
+  /// watchdog (idempotently) so a quiescent run gets the token re-injected
+  /// instead of draining silently.
+  virtual void notify_failover() = 0;
 };
 
 /// Dispatch seam between the runtime (fabric, timers, churn) and the agents.

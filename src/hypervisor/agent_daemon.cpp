@@ -1,5 +1,8 @@
 #include "hypervisor/agent_daemon.hpp"
 
+#include <chrono>
+#include <cstdlib>
+#include <map>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -173,12 +176,25 @@ struct AgentDaemon::Impl {
   RecordingEnv env;
   std::uint64_t fingerprint;
 
-  std::uint32_t host_begin = 0;
-  std::uint32_t host_end = 0;  ///< exclusive
-  std::vector<Dom0Agent> agents;
+  /// Owned [begin, end) host ranges: the primary assignment from kInit plus
+  /// any ranges adopted from dead peers. Agents live in a map keyed by host
+  /// so adopted ranges slot in without disturbing existing references.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+  std::map<std::uint32_t, Dom0Agent> agents;
+  std::uint32_t agent_id = 0;
   bool inited = false;
   bool done = false;
   std::size_t tasks = 0;
+
+  /// Resume cursor: how far through the global mutating-action log this
+  /// replica has advanced (own mutating results + every kApply action).
+  std::uint64_t log_pos = 0;
+  /// At-most-once guard: the last result, replayed verbatim when the
+  /// scheduler re-delivers the same task seq after a reconnect.
+  std::uint32_t cached_seq = 0;
+  TaskFrame cached_result;
+
+  std::size_t crash_after_tasks = 0;
 
   Impl(const core::CostModel& model, core::Allocation& alloc,
        const traffic::TrafficMatrix& tm, const RuntimeConfig& config)
@@ -190,28 +206,51 @@ struct AgentDaemon::Impl {
 
   Dom0Agent& owned_agent(std::uint32_t host) {
     if (!inited) fail("task before kInit");
-    if (host < host_begin || host >= host_end) {
-      fail("task for host outside the owned range");
+    auto it = agents.find(host);
+    if (it == agents.end()) fail("task for host outside the owned range");
+    return it->second;
+  }
+
+  /// Take ownership of [begin, end): create and bind one fresh agent per
+  /// host. An exact repeat of an owned range is a no-op (the scheduler
+  /// re-sends the assignment when resyncing a reconnection); a partial
+  /// overlap is a protocol violation.
+  void add_range(std::uint32_t begin, std::uint32_t end) {
+    if (end > hv.topology().num_hosts()) {
+      fail("host range exceeds the topology");
     }
-    return agents[host - host_begin];
+    for (const auto& [b, e] : ranges) {
+      if (begin == b && end == e) return;
+      if (begin < e && b < end) fail("host range overlaps an owned range");
+    }
+    ranges.emplace_back(begin, end);
+    for (std::uint32_t h = begin; h < end; ++h) {
+      agents[h].bind(&env, &agent_cfg, h);
+    }
   }
 
   void on_init(const TaskFrame& frame) {
-    if (inited) fail("duplicate kInit");
     if (frame.fingerprint != fingerprint) {
       fail("world fingerprint mismatch — scheduler and agent built "
            "different worlds (check that every flag matches)");
     }
-    if (frame.host_end > hv.topology().num_hosts()) {
-      fail("kInit host range exceeds the topology");
+    if (inited) {
+      // Resync after a reconnect: the assignment must be unchanged.
+      if (frame.agent_id != agent_id || ranges.empty() ||
+          frame.host_begin != ranges.front().first ||
+          frame.host_end != ranges.front().second) {
+        fail("re-init changed the assignment");
+      }
+      return;
     }
-    host_begin = frame.host_begin;
-    host_end = frame.host_end;
-    agents.assign(host_end - host_begin, Dom0Agent{});
-    for (std::uint32_t h = host_begin; h < host_end; ++h) {
-      agents[h - host_begin].bind(&env, &agent_cfg, h);
-    }
+    agent_id = frame.agent_id;
+    add_range(frame.host_begin, frame.host_end);
     inited = true;
+  }
+
+  void on_adopt(const TaskFrame& frame) {
+    if (!inited) fail("kAdopt before kInit");
+    add_range(frame.host_begin, frame.host_end);
   }
 
   /// Replay one effect another agent (or the scheduler's churn schedule)
@@ -234,13 +273,13 @@ struct AgentDaemon::Impl {
       case TaskActionKind::kStopRun:
         run_ctl.stop(t);
         return;
-      case TaskActionKind::kHostLeave:
+      case TaskActionKind::kHostLeave: {
         hv.set_host_up(a.host, false);
-        if (inited && a.host >= host_begin && a.host < host_end) {
-          agents[a.host - host_begin].reset();
-        }
+        auto it = agents.find(a.host);
+        if (it != agents.end()) it->second.reset();
         drain_host(hv, a.host);
         return;
+      }
       case TaskActionKind::kHostJoin:
         hv.set_host_up(a.host, true);
         return;
@@ -256,6 +295,9 @@ struct AgentDaemon::Impl {
   void on_apply(const TaskFrame& frame) {
     env.set_now(frame.time_s);
     for (const TaskAction& a : frame.actions) apply_action(a, frame.time_s);
+    // Every kApply action is replica-mutating (apply_action throws
+    // otherwise), so the whole frame advances the resume cursor.
+    log_pos += frame.actions.size();
   }
 
   TaskFrame result_frame(std::uint32_t seq) {
@@ -263,6 +305,9 @@ struct AgentDaemon::Impl {
     out.type = TaskType::kResult;
     out.seq = seq;
     out.actions = env.take_actions();
+    for (const TaskAction& a : out.actions) {
+      if (replica_mutating(a.kind)) ++log_pos;
+    }
     ++tasks;
     return out;
   }
@@ -295,6 +340,26 @@ struct AgentDaemon::Impl {
     done = true;
     return out;
   }
+
+  /// Execute one kDeliver/kTimer — or replay the cached result if the
+  /// scheduler re-delivered the previous task after a reconnect.
+  template <typename Exec>
+  void serve_task(util::ReliableLink& link, const TaskFrame& frame,
+                  Exec&& exec) {
+    if (frame.seq != 0 && frame.seq == cached_seq) {
+      link.send(encode_task(cached_result));
+      return;
+    }
+    TaskFrame out = exec(frame);
+    cached_seq = frame.seq;
+    cached_result = out;
+    if (crash_after_tasks != 0 && tasks >= crash_after_tasks) {
+      // Chaos hook: die after deciding but before reporting — the scheduler
+      // must treat the decision as never having happened.
+      std::_Exit(17);
+    }
+    link.send(encode_task(std::move(out)));
+  }
 };
 
 AgentDaemon::AgentDaemon(const core::CostModel& model, core::Allocation& alloc,
@@ -304,32 +369,58 @@ AgentDaemon::AgentDaemon(const core::CostModel& model, core::Allocation& alloc,
 
 AgentDaemon::~AgentDaemon() = default;
 
-std::size_t AgentDaemon::serve(util::Socket& socket) {
+bool AgentDaemon::done() const { return impl_->done; }
+
+void AgentDaemon::set_crash_after_tasks(std::size_t n) {
+  impl_->crash_after_tasks = n;
+}
+
+std::size_t AgentDaemon::serve(util::ReliableLink& link) {
   Impl& d = *impl_;
 
   TaskFrame hello;
   hello.type = TaskType::kHello;
   hello.fingerprint = d.fingerprint;
-  socket.write_frame(encode_task(hello));
+  hello.resuming = d.inited;
+  hello.resume_pos = d.inited ? d.log_pos : 0;
+  hello.agent_id = d.inited ? d.agent_id : 0;
+  link.send(encode_task(hello));
 
   TaskHandler handler;
   handler.on(TaskType::kInit, [&d](const TaskFrame& f) { d.on_init(f); });
+  handler.on(TaskType::kAdopt, [&d](const TaskFrame& f) { d.on_adopt(f); });
   handler.on(TaskType::kApply, [&d](const TaskFrame& f) { d.on_apply(f); });
-  handler.on(TaskType::kDeliver, [&d, &socket](const TaskFrame& f) {
-    socket.write_frame(encode_task(d.on_deliver(f)));
+  handler.on(TaskType::kDeliver, [&d, &link](const TaskFrame& f) {
+    d.serve_task(link, f, [&d](const TaskFrame& t) { return d.on_deliver(t); });
   });
-  handler.on(TaskType::kTimer, [&d, &socket](const TaskFrame& f) {
-    socket.write_frame(encode_task(d.on_timer(f)));
+  handler.on(TaskType::kTimer, [&d, &link](const TaskFrame& f) {
+    d.serve_task(link, f, [&d](const TaskFrame& t) { return d.on_timer(t); });
   });
-  handler.on(TaskType::kShutdown, [&d, &socket](const TaskFrame& f) {
-    socket.write_frame(encode_task(d.on_shutdown(f)));
+  handler.on(TaskType::kShutdown, [&d, &link](const TaskFrame& f) {
+    link.send(encode_task(d.on_shutdown(f)));
   });
 
   while (!d.done) {
-    const TaskFrame frame = decode_task(socket.read_frame());
+    std::optional<std::vector<std::uint8_t>> buf = link.recv(-1.0);
+    if (!buf) continue;  // recv(-1) only returns frames or throws
+    const TaskFrame frame = decode_task(*buf);
     if (!handler.dispatch(frame)) {
       fail("unexpected frame type from the scheduler");
     }
+  }
+
+  // Linger until kFinal is acked: exiting on the first send would lose the
+  // frame if the adversarial transport dropped it — the retransmission that
+  // would repair it lives here.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  try {
+    while (!link.all_acked() &&
+           std::chrono::steady_clock::now() < deadline) {
+      link.recv(0.05);
+    }
+  } catch (const util::LinkDown&) {
+    // Peer went away after shutdown; nothing left to repair.
   }
   return d.tasks;
 }

@@ -1,6 +1,6 @@
-// AgentDaemon — the score_agent process core: a range of Dom0Agents running
+// AgentDaemon — the score_agent process core: a set of Dom0Agents running
 // over a full *replica* of the world, speaking the framed task protocol
-// (task_codec) to a scheduler.
+// (task_codec) to a scheduler across a ReliableLink.
 //
 // The daemon builds its world independently (same CLI flags as the
 // scheduler; the kHello/kInit fingerprint handshake proves both sides built
@@ -12,7 +12,16 @@
 // state-mutating subset to the local replica (SimHypervisor + RunControl),
 // so the next decision sees the world the in-process agent would have seen.
 // kApply frames carry the actions *other* agents took, keeping the replica
-// in lock-step between tasks.
+// in lock-step between tasks. kAdopt extends ownership with a dead peer's
+// host range (the scheduler's redistribution path).
+//
+// Crash/reconnect recovery: the daemon tracks how far through the global
+// mutating-action log its replica has advanced (log_pos: its own mutating
+// results plus every kApply action) and reports that cursor in kHello, so a
+// reconnecting daemon is resynced with exactly the missed suffix. It also
+// caches its last kResult; a re-delivered task with the same seq is answered
+// from the cache without re-executing — decisions happen at most once even
+// when the result frame was lost in flight.
 //
 // A mismatch anywhere — fingerprints, an apply action that does not commit
 // on the replica, a task for a host outside the owned range — throws; the
@@ -23,7 +32,7 @@
 #include <memory>
 
 #include "hypervisor/distributed_runtime.hpp"
-#include "util/socket.hpp"
+#include "util/reliable_link.hpp"
 
 namespace score::hypervisor {
 
@@ -39,11 +48,22 @@ class AgentDaemon {
   AgentDaemon(const AgentDaemon&) = delete;
   AgentDaemon& operator=(const AgentDaemon&) = delete;
 
-  /// Serve one full run over a connected scheduler socket: send kHello, obey
-  /// kInit, then execute tasks until kShutdown (answered with kFinal).
-  /// Returns the number of kDeliver/kTimer tasks executed. Throws on
-  /// protocol violations or replica divergence.
-  std::size_t serve(util::Socket& socket);
+  /// Serve a run over a connected scheduler link: send kHello (fresh or
+  /// resuming), obey kInit/kAdopt, then execute tasks until kShutdown
+  /// (answered with kFinal, lingering until it is acked). Returns the number
+  /// of kDeliver/kTimer tasks executed. Throws util::LinkDown when the
+  /// connection dies mid-run — the daemon keeps its replica state and the
+  /// caller may reconnect and call serve() again to resume. Throws
+  /// std::runtime_error on protocol violations or replica divergence.
+  std::size_t serve(util::ReliableLink& link);
+
+  /// True once kShutdown was served (a reconnect loop should stop).
+  bool done() const;
+
+  /// Chaos hook: after executing this many tasks, exit the process abruptly
+  /// (code 17) *before* sending the result — the most adversarial crash
+  /// point, as the scheduler never learns the decision. 0 disables.
+  void set_crash_after_tasks(std::size_t n);
 
  private:
   struct Impl;

@@ -78,6 +78,9 @@ class SimCommunicator final : public Communicator {
                        int stage) override;
 
   // ---- watchdog state (placement-manager role) ------------------------------
+  /// Retain token snapshots from now on (a failover-capable executor needs
+  /// one to re-inject from even when loss/churn did not arm the watchdog).
+  void enable_token_snapshot() { keep_token_snapshot_ = true; }
   const std::vector<std::uint8_t>& last_token_payload() const {
     return last_token_payload_;
   }

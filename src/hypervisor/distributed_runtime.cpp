@@ -82,6 +82,7 @@ struct DistributedScoreRuntime::Impl final : AgentEnv, RuntimeCore {
   // migration transfer.
   std::uint64_t holds_at_last_check = 0;
   std::uint64_t sends_at_last_check = 0;
+  bool watchdog_scheduled = false;
 
   Impl(const core::CostModel& m, core::Allocation& a,
        const traffic::TrafficMatrix& t, RuntimeConfig c,
@@ -162,6 +163,18 @@ struct DistributedScoreRuntime::Impl final : AgentEnv, RuntimeCore {
   const AgentConfig& agent_config() const override { return agent_cfg; }
   SimHypervisor& sim_hypervisor() override { return hvisor; }
   const RunControl& run_control() const override { return run_ctl; }
+  sim::EventQueue& event_queue() override { return queue; }
+  void enable_failover_recovery() override {
+    communicator->enable_token_snapshot();
+  }
+  void notify_failover() override {
+    // Lazily start the watchdog: fault-free runs never schedule it, so the
+    // event queue (and hence the trace) is untouched until a daemon is
+    // actually lost.
+    if (watchdog_scheduled) return;
+    watchdog_scheduled = true;
+    queue.schedule_in(cfg.retransmit_timeout_s, [this] { watchdog_tick(); });
+  }
 
   // ---- failure recovery ------------------------------------------------------
 
@@ -237,6 +250,7 @@ struct DistributedScoreRuntime::Impl final : AgentEnv, RuntimeCore {
       net->set_loss(cfg.message_loss_rate, cfg.loss_seed);
     }
     if (watchdog_armed()) {
+      watchdog_scheduled = true;
       queue.schedule_in(cfg.retransmit_timeout_s, [this] { watchdog_tick(); });
     }
     for (const ChurnEvent& ev : cfg.churn) {

@@ -211,6 +211,9 @@ std::vector<std::uint8_t> encode_task(const TaskFrame& frame) {
   switch (frame.type) {
     case TaskType::kHello:
       put_u64(buf, frame.fingerprint);
+      buf.push_back(frame.resuming ? 1 : 0);
+      put_u64(buf, frame.resume_pos);
+      put_u32(buf, frame.agent_id);
       return buf;
     case TaskType::kInit:
       put_u32(buf, frame.agent_id);
@@ -255,6 +258,10 @@ std::vector<std::uint8_t> encode_task(const TaskFrame& frame) {
       put_u64(buf, frame.total_migrations);
       put_u64(buf, frame.total_holds);
       return buf;
+    case TaskType::kAdopt:
+      put_u32(buf, frame.host_begin);
+      put_u32(buf, frame.host_end);
+      return buf;
   }
   fail("unknown frame type");
 }
@@ -266,16 +273,25 @@ TaskFrame decode_task(const std::vector<std::uint8_t>& buf) {
   }
   if (buf[4] != kTaskFrameVersion) fail("unsupported version");
   const std::uint8_t type = buf[5];
-  if (type < 1 || type > 8) fail("unknown frame type");
+  if (type < 1 || type > 9) fail("unknown frame type");
 
   TaskFrame frame;
   frame.type = static_cast<TaskType>(type);
   frame.seq = get_u32(buf, 6);
   Reader r(buf, task_frame_header_bytes());
   switch (frame.type) {
-    case TaskType::kHello:
+    case TaskType::kHello: {
       frame.fingerprint = r.u64();
+      const std::uint8_t resuming = r.u8();
+      if (resuming > 1) fail("hello resuming flag not 0/1");
+      frame.resuming = resuming != 0;
+      frame.resume_pos = r.u64();
+      frame.agent_id = r.u32();
+      if (!frame.resuming && (frame.resume_pos != 0 || frame.agent_id != 0)) {
+        fail("fresh hello with nonzero resume cursor");
+      }
       break;
+    }
     case TaskType::kInit:
       frame.agent_id = r.u32();
       frame.num_agents = r.u32();
@@ -314,6 +330,11 @@ TaskFrame decode_task(const std::vector<std::uint8_t>& buf) {
       frame.migrated_mb = r.f64("migrated MB not finite");
       frame.total_migrations = r.u64();
       frame.total_holds = r.u64();
+      break;
+    case TaskType::kAdopt:
+      frame.host_begin = r.u32();
+      frame.host_end = r.u32();
+      if (frame.host_begin > frame.host_end) fail("inverted host range");
       break;
   }
   r.expect_end();

@@ -38,10 +38,13 @@
 
 namespace score::hypervisor {
 
-constexpr std::uint8_t kTaskFrameVersion = 1;
+// v2: kHello carries a resume cursor (log position + claimed agent id) for
+// the crash/reconnect handshake, and kAdopt reassigns a dead daemon's host
+// range to a survivor.
+constexpr std::uint8_t kTaskFrameVersion = 2;
 
 enum class TaskType : std::uint8_t {
-  kHello = 1,     ///< daemon -> scheduler: version + world fingerprint
+  kHello = 1,     ///< daemon -> scheduler: fingerprint + resume cursor
   kInit = 2,      ///< scheduler -> daemon: agent id + host range
   kDeliver = 3,   ///< scheduler -> daemon: one fabric message delivery
   kTimer = 4,     ///< scheduler -> daemon: one probe timer fired
@@ -49,6 +52,7 @@ enum class TaskType : std::uint8_t {
   kShutdown = 6,  ///< scheduler -> daemon: run over, report kFinal
   kResult = 7,    ///< daemon -> scheduler: actions taken by one task
   kFinal = 8,     ///< daemon -> scheduler: replica cross-check summary
+  kAdopt = 9,     ///< scheduler -> daemon: adopt a dead peer's host range
 };
 
 enum class TaskActionKind : std::uint8_t {
@@ -63,6 +67,29 @@ enum class TaskActionKind : std::uint8_t {
   kHostLeave = 9,       ///< churn: host left (drain on every replica)
   kHostJoin = 10,       ///< churn: host rejoined
 };
+
+/// Does this action mutate replica state (allocation, directory, RNG,
+/// convergence ledger)? Only these are synced between worlds — they make up
+/// the scheduler's global action log and the daemons' resume cursors, so
+/// both sides must classify identically. Fabric sends and telemetry live on
+/// the scheduler alone.
+constexpr bool replica_mutating(TaskActionKind kind) {
+  switch (kind) {
+    case TaskActionKind::kHold:
+    case TaskActionKind::kMigration:
+    case TaskActionKind::kBudgetReject:
+    case TaskActionKind::kStopRun:
+    case TaskActionKind::kHostLeave:
+    case TaskActionKind::kHostJoin:
+      return true;
+    case TaskActionKind::kSend:
+    case TaskActionKind::kArmTimer:
+    case TaskActionKind::kProbeRetransmit:
+    case TaskActionKind::kProbeTimeout:
+      return false;
+  }
+  return false;
+}
 
 /// One serialized agent effect. Field use depends on `kind`; unused fields
 /// must stay zero (decode leaves them zero, equality is field-wise).
@@ -100,8 +127,14 @@ struct TaskFrame {
   std::uint64_t fingerprint = 0;
   std::uint32_t agent_id = 0;
   std::uint32_t num_agents = 0;
-  std::uint32_t host_begin = 0;  ///< inclusive
-  std::uint32_t host_end = 0;    ///< exclusive
+  std::uint32_t host_begin = 0;  ///< inclusive (also kAdopt)
+  std::uint32_t host_end = 0;    ///< exclusive (also kAdopt)
+  // kHello resume cursor: how much of the global mutating-action log this
+  // daemon has incorporated. A fresh process says {resuming=false, 0}; a
+  // live daemon reconnecting after a dropped connection claims its id and
+  // position so the scheduler can resync exactly the missed suffix.
+  bool resuming = false;
+  std::uint64_t resume_pos = 0;
   // kDeliver / kTimer / kApply
   double time_s = 0.0;
   // kDeliver

@@ -39,7 +39,7 @@ class TaskHandler {
   static std::size_t index(TaskType type) {
     return static_cast<std::size_t>(type) - 1;
   }
-  std::array<Handler, 8> handlers_;
+  std::array<Handler, 9> handlers_;
 };
 
 }  // namespace score::hypervisor

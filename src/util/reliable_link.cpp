@@ -1,0 +1,234 @@
+#include "util/reliable_link.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace score::util {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'S', 'C', 'L', 'K'};
+constexpr std::uint8_t kData = 1;
+constexpr std::uint8_t kAck = 2;
+constexpr std::size_t kEnvelopeBytes = 4 + 1 + 4 + 8;  // magic kind seq fnv
+// A valid-checksum frame whose seq is absurdly far ahead is a checksum
+// collision on a corrupted envelope, not real traffic: drop it rather than
+// buffering unbounded garbage.
+constexpr std::uint32_t kMaxWindow = 1u << 16;
+
+std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* data,
+                    std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t envelope_sum(std::uint8_t kind, std::uint32_t seq,
+                           const std::uint8_t* payload, std::size_t len) {
+  std::uint64_t h = 1469598103934665603ull;
+  const std::uint8_t head[5] = {kind, static_cast<std::uint8_t>(seq),
+                                static_cast<std::uint8_t>(seq >> 8),
+                                static_cast<std::uint8_t>(seq >> 16),
+                                static_cast<std::uint8_t>(seq >> 24)};
+  h = fnv1a(h, head, sizeof(head));
+  return fnv1a(h, payload, len);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::vector<std::uint8_t> wrap(std::uint8_t kind, std::uint32_t seq,
+                               const std::uint8_t* payload, std::size_t len) {
+  std::vector<std::uint8_t> out(kEnvelopeBytes + len);
+  std::copy(kMagic, kMagic + 4, out.data());
+  out[4] = kind;
+  for (int i = 0; i < 4; ++i) {
+    out[5 + i] = static_cast<std::uint8_t>(seq >> (8 * i));
+  }
+  const std::uint64_t sum = envelope_sum(kind, seq, payload, len);
+  for (int i = 0; i < 8; ++i) {
+    out[9 + i] = static_cast<std::uint8_t>(sum >> (8 * i));
+  }
+  if (len > 0) std::copy(payload, payload + len, out.data() + kEnvelopeBytes);
+  return out;
+}
+
+std::chrono::steady_clock::duration to_clock_dur(double seconds) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+ReliableLink::ReliableLink(FrameTransport& transport, LinkConfig config)
+    : transport_(&transport), config_(config) {}
+
+double ReliableLink::rto() const {
+  const double t = config_.retransmit_timeout_s *
+                   std::pow(config_.backoff_factor,
+                            static_cast<double>(backoff_rounds_));
+  return std::min(t, config_.max_backoff_s);
+}
+
+void ReliableLink::write_or_throw(const std::vector<std::uint8_t>& frame) {
+  try {
+    transport_->write_frame(frame);
+  } catch (const LinkDown&) {
+    throw;
+  } catch (const std::runtime_error& e) {
+    throw LinkDown(e.what());
+  }
+}
+
+void ReliableLink::transmit(std::uint32_t seq,
+                            const std::vector<std::uint8_t>& payload) {
+  write_or_throw(wrap(kData, seq, payload.data(), payload.size()));
+}
+
+void ReliableLink::send_ack() {
+  ++stats_.acks_sent;
+  write_or_throw(wrap(kAck, rx_next_ - 1, nullptr, 0));
+}
+
+void ReliableLink::send(const std::vector<std::uint8_t>& payload) {
+  const std::uint32_t seq = tx_next_++;
+  const bool was_idle = unacked_.empty();
+  unacked_.emplace_back(seq, payload);
+  ++stats_.data_sent;
+  transmit(seq, payload);
+  if (was_idle) retransmit_at_ = Clock::now() + to_clock_dur(rto());
+}
+
+std::optional<std::vector<std::uint8_t>> ReliableLink::recv(double timeout_s) {
+  const bool forever = timeout_s < 0.0;
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(forever ? 0.0 : timeout_s);
+  while (true) {
+    if (!ready_.empty()) {
+      std::vector<std::uint8_t> out = std::move(ready_.front());
+      ready_.pop_front();
+      return out;
+    }
+    const auto now = Clock::now();
+    if (!forever && now >= deadline && unacked_.empty()) return std::nullopt;
+    // Wait until the caller's deadline or the retransmit timer, whichever
+    // comes first.
+    double wait = forever
+                      ? -1.0
+                      : std::chrono::duration<double>(deadline - now).count();
+    if (!unacked_.empty()) {
+      const double until_retx =
+          std::chrono::duration<double>(retransmit_at_ - now).count();
+      const double slice = std::max(0.0, until_retx);
+      wait = (wait < 0.0) ? slice : std::min(wait, slice);
+    }
+    std::optional<std::vector<std::uint8_t>> frame;
+    try {
+      frame = transport_->read_frame(wait);
+    } catch (const LinkDown&) {
+      throw;
+    } catch (const std::runtime_error& e) {
+      throw LinkDown(e.what());
+    }
+    if (frame) {
+      on_frame(std::move(*frame));
+      continue;
+    }
+    const auto after = Clock::now();
+    if (!unacked_.empty() && after >= retransmit_at_) {
+      if (++backoff_rounds_ > config_.max_retransmit_rounds) {
+        throw LinkDown("retransmission rounds exhausted");
+      }
+      ++stats_.retransmit_rounds;
+      for (const auto& [seq, payload] : unacked_) {
+        ++stats_.retransmitted_frames;
+        transmit(seq, payload);
+      }
+      retransmit_at_ = after + to_clock_dur(rto());
+    }
+    if (!forever && after >= deadline && unacked_.empty()) return std::nullopt;
+    if (!forever && after >= deadline && !unacked_.empty()) {
+      // The caller's patience is up but frames are still in flight; report
+      // the timeout — the caller owns the dead-peer policy.
+      return std::nullopt;
+    }
+  }
+}
+
+void ReliableLink::on_frame(std::vector<std::uint8_t> frame) {
+  if (frame.size() < kEnvelopeBytes ||
+      !std::equal(kMagic, kMagic + 4, frame.begin())) {
+    ++stats_.corrupt_dropped;
+    return;
+  }
+  const std::uint8_t kind = frame[4];
+  const std::uint32_t seq = get_u32(frame.data() + 5);
+  const std::uint64_t sum = get_u64(frame.data() + 9);
+  const std::uint8_t* payload = frame.data() + kEnvelopeBytes;
+  const std::size_t payload_len = frame.size() - kEnvelopeBytes;
+  if (envelope_sum(kind, seq, payload, payload_len) != sum) {
+    ++stats_.corrupt_dropped;
+    return;
+  }
+  if (kind == kAck) {
+    ++stats_.acks_received;
+    bool progressed = false;
+    while (!unacked_.empty() && unacked_.front().first <= seq) {
+      unacked_.pop_front();
+      progressed = true;
+    }
+    if (progressed) {
+      backoff_rounds_ = 0;
+      retransmit_at_ = Clock::now() + to_clock_dur(rto());
+    }
+    return;
+  }
+  if (kind != kData) {
+    ++stats_.corrupt_dropped;
+    return;
+  }
+  if (seq < rx_next_) {
+    // Duplicate of something already delivered: re-ack so the sender stops.
+    ++stats_.duplicates_dropped;
+    send_ack();
+    return;
+  }
+  if (seq >= rx_next_ + kMaxWindow) {
+    ++stats_.corrupt_dropped;
+    return;
+  }
+  if (seq == rx_next_) {
+    ready_.emplace_back(payload, payload + payload_len);
+    ++rx_next_;
+    ++stats_.data_received;
+    auto it = rx_buffer_.find(rx_next_);
+    while (it != rx_buffer_.end()) {
+      ready_.push_back(std::move(it->second));
+      rx_buffer_.erase(it);
+      ++rx_next_;
+      ++stats_.data_received;
+      it = rx_buffer_.find(rx_next_);
+    }
+  } else if (rx_buffer_.emplace(seq, std::vector<std::uint8_t>(
+                                         payload, payload + payload_len))
+                 .second) {
+    ++stats_.out_of_order_buffered;
+  } else {
+    ++stats_.duplicates_dropped;
+  }
+  send_ack();
+}
+
+}  // namespace score::util

@@ -3,9 +3,12 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include <algorithm>
 
 #include <cerrno>
 #include <chrono>
@@ -71,24 +74,13 @@ void set_nodelay(int fd) {
 
 void write_all(int fd, const std::uint8_t* data, std::size_t len) {
   while (len > 0) {
-    const ssize_t n = ::write(fd, data, len);
+    // MSG_NOSIGNAL: a peer that died mid-run must surface as EPIPE for the
+    // recovery path, not kill the scheduler with SIGPIPE.
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       fail("write failed");
     }
-    data += n;
-    len -= static_cast<std::size_t>(n);
-  }
-}
-
-void read_all(int fd, std::uint8_t* data, std::size_t len) {
-  while (len > 0) {
-    const ssize_t n = ::read(fd, data, len);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      fail("read failed");
-    }
-    if (n == 0) throw std::runtime_error("socket: peer closed mid-frame");
     data += n;
     len -= static_cast<std::size_t>(n);
   }
@@ -100,13 +92,30 @@ void read_all(int fd, std::uint8_t* data, std::size_t len) {
 
 Socket::~Socket() { close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_),
+      rx_got_(other.rx_got_),
+      rx_have_header_(other.rx_have_header_),
+      rx_payload_(std::move(other.rx_payload_)) {
+  std::copy(other.rx_header_, other.rx_header_ + 4, rx_header_);
+  other.fd_ = -1;
+  other.rx_got_ = 0;
+  other.rx_have_header_ = false;
+  other.rx_payload_.clear();
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    rx_got_ = other.rx_got_;
+    rx_have_header_ = other.rx_have_header_;
+    rx_payload_ = std::move(other.rx_payload_);
+    std::copy(other.rx_header_, other.rx_header_ + 4, rx_header_);
     other.fd_ = -1;
+    other.rx_got_ = 0;
+    other.rx_have_header_ = false;
+    other.rx_payload_.clear();
   }
   return *this;
 }
@@ -116,12 +125,16 @@ void Socket::close() {
     ::close(fd_);
     fd_ = -1;
   }
+  rx_got_ = 0;
+  rx_have_header_ = false;
+  rx_payload_.clear();
 }
 
 Socket Socket::connect(const std::string& address, double timeout_s) {
   const ParsedAddress parsed = parse_address(address);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(timeout_s);
+  auto backoff = std::chrono::milliseconds(10);
   while (true) {
     int fd = -1;
     int rc = -1;
@@ -152,13 +165,14 @@ Socket Socket::connect(const std::string& address, double timeout_s) {
     const int saved = errno;
     ::close(fd);
     // The scheduler may not be listening yet: retry refused/absent endpoints
-    // until the deadline.
+    // with exponential backoff until the deadline.
     const bool retryable = saved == ECONNREFUSED || saved == ENOENT;
     if (!retryable || std::chrono::steady_clock::now() >= deadline) {
       errno = saved;
       fail("connect to '" + address + "' failed");
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(500));
   }
 }
 
@@ -178,19 +192,85 @@ void Socket::write_frame(const std::vector<std::uint8_t>& bytes) {
 }
 
 std::vector<std::uint8_t> Socket::read_frame() {
+  std::optional<std::vector<std::uint8_t>> frame = read_frame_timeout(-1.0);
+  // Negative timeout blocks until a frame or an error — never nullopt.
+  return std::move(*frame);
+}
+
+std::optional<std::vector<std::uint8_t>> Socket::read_frame_timeout(
+    double timeout_s) {
   if (fd_ < 0) throw std::runtime_error("socket: read on closed socket");
-  std::uint8_t header[4];
-  read_all(fd_, header, sizeof(header));
-  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
-                            (static_cast<std::uint32_t>(header[1]) << 8) |
-                            (static_cast<std::uint32_t>(header[2]) << 16) |
-                            (static_cast<std::uint32_t>(header[3]) << 24);
-  if (len > kMaxFrameBytes) {
-    throw std::runtime_error("socket: incoming frame too large");
+  const bool forever = timeout_s < 0.0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(forever ? 0.0 : timeout_s);
+  while (true) {
+    // Drain available bytes without blocking, resuming any partial frame
+    // carried in rx_* from an earlier timed-out call.
+    while (true) {
+      std::uint8_t* dst = nullptr;
+      std::size_t want = 0;
+      if (!rx_have_header_) {
+        dst = rx_header_ + rx_got_;
+        want = sizeof(rx_header_) - rx_got_;
+      } else {
+        dst = rx_payload_.data() + rx_got_;
+        want = rx_payload_.size() - rx_got_;
+      }
+      if (want == 0) break;  // payload complete (possibly zero-length)
+      const ssize_t n = ::recv(fd_, dst, want, MSG_DONTWAIT);
+      if (n > 0) {
+        rx_got_ += static_cast<std::size_t>(n);
+        if (!rx_have_header_ && rx_got_ == sizeof(rx_header_)) {
+          const std::uint32_t len =
+              static_cast<std::uint32_t>(rx_header_[0]) |
+              (static_cast<std::uint32_t>(rx_header_[1]) << 8) |
+              (static_cast<std::uint32_t>(rx_header_[2]) << 16) |
+              (static_cast<std::uint32_t>(rx_header_[3]) << 24);
+          if (len > kMaxFrameBytes) {
+            throw std::runtime_error("socket: incoming frame too large");
+          }
+          rx_have_header_ = true;
+          rx_got_ = 0;
+          rx_payload_.assign(len, 0);
+        }
+        continue;
+      }
+      if (n == 0) {
+        if (rx_have_header_ || rx_got_ > 0) {
+          throw std::runtime_error("socket: peer closed mid-frame");
+        }
+        throw std::runtime_error("socket: peer closed");
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      fail("read failed");
+    }
+    if (rx_have_header_ && rx_got_ == rx_payload_.size()) {
+      std::vector<std::uint8_t> out = std::move(rx_payload_);
+      rx_payload_.clear();
+      rx_have_header_ = false;
+      rx_got_ = 0;
+      return out;
+    }
+    // Nothing more buffered: wait for readability up to the deadline.
+    int wait_ms = -1;
+    if (!forever) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return std::nullopt;
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+      wait_ms = static_cast<int>(std::max<std::int64_t>(1, left.count()));
+    }
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fail("poll failed");
+    }
+    if (rc == 0 && !forever) return std::nullopt;
   }
-  std::vector<std::uint8_t> bytes(len);
-  if (len > 0) read_all(fd_, bytes.data(), len);
-  return bytes;
 }
 
 // ---- ServerSocket -----------------------------------------------------------
@@ -287,6 +367,47 @@ Socket ServerSocket::accept() {
       return Socket(fd);
     }
     if (errno == EINTR) continue;
+    fail("accept failed");
+  }
+}
+
+std::optional<Socket> ServerSocket::accept_timeout(double timeout_s) {
+  if (fd_ < 0) throw std::runtime_error("socket: accept on closed socket");
+  const bool forever = timeout_s < 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(forever ? 0.0 : timeout_s));
+  while (true) {
+    int wait_ms = -1;
+    if (!forever) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return std::nullopt;
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+      wait_ms = static_cast<int>(std::max<std::int64_t>(1, left.count()));
+    }
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fail("poll failed");
+    }
+    if (rc == 0) {
+      if (!forever) return std::nullopt;
+      continue;
+    }
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      if (unix_path_.empty()) set_nodelay(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED) {
+      continue;
+    }
     fail("accept failed");
   }
 }

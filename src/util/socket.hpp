@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,9 +46,20 @@ class Socket {
   void write_frame(const std::vector<std::uint8_t>& bytes);
   /// Blocks for one frame; throws std::runtime_error on EOF or error.
   std::vector<std::uint8_t> read_frame();
+  /// Blocks up to `timeout_s` for one frame (negative = forever). Returns
+  /// std::nullopt on timeout. A frame partially received when the timeout
+  /// fires is buffered and resumed by the next read call — a slow peer that
+  /// dribbles bytes across many calls never corrupts the framing. Throws
+  /// std::runtime_error on EOF or error.
+  std::optional<std::vector<std::uint8_t>> read_frame_timeout(double timeout_s);
 
  private:
   int fd_ = -1;
+  // Partial-frame receive state, carried across read_frame_timeout calls.
+  std::uint8_t rx_header_[4] = {0, 0, 0, 0};
+  std::size_t rx_got_ = 0;
+  bool rx_have_header_ = false;
+  std::vector<std::uint8_t> rx_payload_;
 };
 
 /// A listening socket bound to a loopback address.
@@ -70,6 +82,10 @@ class ServerSocket {
 
   /// Block for one connection.
   Socket accept();
+
+  /// Wait up to `timeout_s` for one connection; nullopt on timeout. A
+  /// negative timeout blocks forever (same as accept()).
+  std::optional<Socket> accept_timeout(double timeout_s);
 
   bool valid() const { return fd_ >= 0; }
   void close();

@@ -1,0 +1,133 @@
+#include "util/transport.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace score::util {
+
+void FaultyTransport::mutate(std::vector<std::uint8_t>& bytes) {
+  if (!bytes.empty() && rng_.chance(profile_.corrupt)) {
+    ++stats_.corruptions;
+    bytes[rng_.index(bytes.size())] ^=
+        static_cast<std::uint8_t>(1u << rng_.index(8));
+  }
+  if (!bytes.empty() && rng_.chance(profile_.truncate)) {
+    ++stats_.truncations;
+    bytes.resize(rng_.index(bytes.size()));
+  }
+}
+
+void FaultyTransport::emit(const std::vector<std::uint8_t>& bytes) {
+  std::vector<std::uint8_t> out = bytes;
+  mutate(out);
+  inner_->write_frame(out);
+}
+
+void FaultyTransport::write_frame(const std::vector<std::uint8_t>& bytes) {
+  ++stats_.frames_out;
+  if (rng_.chance(profile_.drop)) {
+    ++stats_.drops;
+  } else if (rng_.chance(profile_.reorder)) {
+    // Swap with the next frame: emitted after exactly one more write.
+    ++stats_.reorders;
+    held_out_.push_back({bytes, 1});
+  } else if (rng_.chance(profile_.delay)) {
+    ++stats_.delays;
+    held_out_.push_back(
+        {bytes,
+         1 + rng_.index(std::max<std::size_t>(1, profile_.max_delay_frames))});
+  } else {
+    if (rng_.chance(profile_.duplicate)) {
+      ++stats_.duplicates;
+      emit(bytes);
+    }
+    emit(bytes);
+  }
+  // Later traffic ticks held frames toward release.
+  for (auto it = held_out_.begin(); it != held_out_.end();) {
+    if (--(it->release_after) == 0) {
+      emit(it->bytes);
+      it = held_out_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> FaultyTransport::read_frame(
+    double timeout_s) {
+  const bool forever = timeout_s < 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(forever ? 0.0 : timeout_s);
+  while (true) {
+    for (auto it = held_in_.begin(); it != held_in_.end(); ++it) {
+      if (it->release_after == 0) {
+        std::vector<std::uint8_t> out = std::move(it->bytes);
+        held_in_.erase(it);
+        return out;
+      }
+    }
+    double left = -1.0;
+    if (!forever) {
+      left = std::chrono::duration<double>(deadline -
+                                           std::chrono::steady_clock::now())
+                 .count();
+      if (left < 0.0) left = 0.0;
+    }
+    if (!held_in_.empty()) {
+      // A held frame is pending release: poll in short slices so it is not
+      // stranded behind a long caller timeout on a quiet connection.
+      left = (left < 0.0) ? 0.05 : std::min(left, 0.05);
+    }
+    std::optional<std::vector<std::uint8_t>> frame = inner_->read_frame(left);
+    if (!frame) {
+      // Liveness valve: when the peer goes quiet, a held frame must still
+      // come out — release the oldest instead of timing out with data queued.
+      // Also flush write-side stragglers so a delayed final frame of a
+      // conversation is not stranded forever.
+      while (!held_out_.empty()) {
+        emit(held_out_.front().bytes);
+        held_out_.pop_front();
+      }
+      if (!held_in_.empty()) {
+        std::vector<std::uint8_t> out = std::move(held_in_.front().bytes);
+        held_in_.pop_front();
+        return out;
+      }
+      if (!forever &&
+          std::chrono::steady_clock::now() >= deadline) {
+        return std::nullopt;
+      }
+      continue;
+    }
+    ++stats_.frames_in;
+    for (Held& h : held_in_) {
+      if (h.release_after > 0) --h.release_after;
+    }
+    if (rng_.chance(profile_.drop)) {
+      ++stats_.drops;
+      continue;
+    }
+    if (rng_.chance(profile_.reorder)) {
+      ++stats_.reorders;
+      held_in_.push_back({std::move(*frame), 1});
+      continue;
+    }
+    if (rng_.chance(profile_.delay)) {
+      ++stats_.delays;
+      held_in_.push_back(
+          {std::move(*frame),
+           1 + rng_.index(std::max<std::size_t>(1, profile_.max_delay_frames))});
+      continue;
+    }
+    if (rng_.chance(profile_.duplicate)) {
+      ++stats_.duplicates;
+      held_in_.push_back({*frame, 0});
+    }
+    mutate(*frame);
+    return frame;
+  }
+}
+
+}  // namespace score::util

@@ -1,0 +1,112 @@
+// Frame-granular transport seam under the control plane's reliable link.
+//
+// `FrameTransport` is the narrow interface the reliable link speaks:
+// write one frame, read one frame with a timeout. `SocketTransport` adapts a
+// connected util::Socket; `FaultyTransport` wraps any transport with a
+// seeded, deterministic adversary that drops, duplicates, bit-flips,
+// truncates, reorders and delays frames in both directions. Faults are
+// applied at *frame* granularity so the stream framing itself stays intact —
+// the damage lands on the reliable-link envelopes (checksummed, sequenced),
+// which is exactly the layer built to absorb it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/socket.hpp"
+
+namespace score::util {
+
+/// One frame in, one frame out, with a read timeout. Implementations throw
+/// std::runtime_error on EOF or transport errors.
+class FrameTransport {
+ public:
+  virtual ~FrameTransport() = default;
+  virtual void write_frame(const std::vector<std::uint8_t>& bytes) = 0;
+  /// Blocks up to `timeout_s` (negative = forever); nullopt on timeout.
+  virtual std::optional<std::vector<std::uint8_t>> read_frame(
+      double timeout_s) = 0;
+};
+
+/// The real thing: frames over a connected stream socket.
+class SocketTransport final : public FrameTransport {
+ public:
+  explicit SocketTransport(Socket& socket) : socket_(&socket) {}
+  void write_frame(const std::vector<std::uint8_t>& bytes) override {
+    socket_->write_frame(bytes);
+  }
+  std::optional<std::vector<std::uint8_t>> read_frame(
+      double timeout_s) override {
+    return socket_->read_frame_timeout(timeout_s);
+  }
+
+ private:
+  Socket* socket_;
+};
+
+/// Per-frame fault probabilities, rolled independently for each frame and
+/// direction. All default to 0 (clean transport).
+struct FaultProfile {
+  double drop = 0.0;       ///< frame vanishes
+  double duplicate = 0.0;  ///< frame delivered twice
+  double corrupt = 0.0;    ///< one random bit flipped
+  double truncate = 0.0;   ///< frame cut short at a random length
+  double reorder = 0.0;    ///< frame swaps with the next frame
+  double delay = 0.0;      ///< frame held back a few frames
+  std::size_t max_delay_frames = 3;
+
+  /// Every fault armed at the same rate — the chaos-tier default.
+  static FaultProfile chaos(double rate) {
+    FaultProfile p;
+    p.drop = p.duplicate = p.corrupt = p.truncate = p.reorder = p.delay = rate;
+    return p;
+  }
+};
+
+struct FaultStats {
+  std::uint64_t frames_out = 0, frames_in = 0;
+  std::uint64_t drops = 0, duplicates = 0, corruptions = 0, truncations = 0,
+                reorders = 0, delays = 0;
+  std::uint64_t injected() const {
+    return drops + duplicates + corruptions + truncations + reorders + delays;
+  }
+};
+
+/// Deterministic adversary: same seed + same frame sequence = same injected
+/// fault schedule. Held (delayed/reordered) frames are released as later
+/// traffic ticks past them, and a read timeout flushes stragglers so a held
+/// frame can never deadlock a quiet connection.
+class FaultyTransport final : public FrameTransport {
+ public:
+  FaultyTransport(FrameTransport& inner, std::uint64_t seed,
+                  FaultProfile profile)
+      : inner_(&inner), rng_(seed), profile_(profile) {}
+
+  void write_frame(const std::vector<std::uint8_t>& bytes) override;
+  std::optional<std::vector<std::uint8_t>> read_frame(
+      double timeout_s) override;
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  struct Held {
+    std::vector<std::uint8_t> bytes;
+    std::size_t release_after;  ///< frames still to pass before release
+  };
+
+  /// Apply corrupt/truncate rolls, then hand to the inner transport.
+  void emit(const std::vector<std::uint8_t>& bytes);
+  void mutate(std::vector<std::uint8_t>& bytes);
+
+  FrameTransport* inner_;
+  Rng rng_;
+  FaultProfile profile_;
+  FaultStats stats_;
+  std::deque<Held> held_out_;
+  std::deque<Held> held_in_;
+};
+
+}  // namespace score::util

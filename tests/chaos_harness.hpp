@@ -1,0 +1,179 @@
+// Shared harness for the chaos suites (test_chaos_transport,
+// test_chaos_recovery): the test process is the scheduler, real score_agent
+// daemons (possibly armed with --crash-after-tasks) serve over a loopback
+// unix socket, and the listening socket stays open so crashed daemons can
+// reconnect — or be respawned by the reconnect acceptor itself.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "hypervisor/distributed_runtime.hpp"
+#include "hypervisor/remote_executor.hpp"
+#include "util/socket.hpp"
+#include "world_builder.hpp"
+
+namespace score::chaos {
+
+inline util::Flags parse_world_flags(const std::vector<std::string>& args) {
+  util::Flags flags;
+  tools::register_world_flags(flags);
+  std::vector<const char*> argv;
+  argv.push_back("test_chaos");
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  EXPECT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  return flags;
+}
+
+/// Spawned score_agent daemons; killed on destruction so a failing test
+/// cannot leave orphans behind.
+class AgentFleet {
+ public:
+  ~AgentFleet() {
+    for (pid_t pid : pids_) kill(pid, SIGKILL);
+    for (pid_t pid : pids_) waitpid(pid, nullptr, 0);
+  }
+
+  void spawn(const std::string& address, const std::vector<std::string>& args) {
+    std::vector<std::string> argv_s = {SCORE_AGENT_BIN, "--connect", address,
+                                       "--connect-timeout", "30"};
+    argv_s.insert(argv_s.end(), args.begin(), args.end());
+    const pid_t pid = fork();
+    ASSERT_NE(pid, -1) << "fork failed";
+    if (pid == 0) {
+      std::vector<char*> argv;
+      for (std::string& s : argv_s) argv.push_back(s.data());
+      argv.push_back(nullptr);
+      execv(SCORE_AGENT_BIN, argv.data());
+      _exit(127);  // exec failed
+    }
+    pids_.push_back(pid);
+  }
+
+  /// Reap every daemon and return their exit codes, in spawn order
+  /// (-1 = abnormal exit).
+  std::vector<int> wait_all() {
+    std::vector<int> codes;
+    for (pid_t pid : pids_) {
+      int status = 0;
+      waitpid(pid, &status, 0);
+      codes.push_back(WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    }
+    pids_.clear();
+    return codes;
+  }
+
+ private:
+  std::vector<pid_t> pids_;
+};
+
+inline std::string unique_socket_path(const char* tag) {
+  static int counter = 0;
+  return "/tmp/score_chaos_" + std::to_string(getpid()) + "_" + tag + "_" +
+         std::to_string(counter++) + ".sock";
+}
+
+struct ChaosRun {
+  hypervisor::RuntimeResult result;
+  std::vector<core::ServerId> final_servers;
+  hypervisor::RecoveryStats stats;
+  std::vector<int> agent_exit_codes;
+};
+
+struct ChaosOptions {
+  hypervisor::RemoteExecutorConfig config;
+  /// Extra score_agent flags, per agent (missing entries get none).
+  std::vector<std::vector<std::string>> agent_extra;
+  /// Install the reconnect acceptor (dead daemons may resume / be
+  /// redistributed). Off = a lost daemon is fatal, as before this PR.
+  bool acceptor = true;
+  /// Spawn one fresh replacement daemon the first time the scheduler waits
+  /// for a reconnect (the crash-and-respawn scenario).
+  bool respawn_one = false;
+};
+
+/// Retransmission drives real wall-clock time on every injected drop, so the
+/// chaos tier runs both link endpoints at a 5ms initial timeout (the
+/// product default is 50ms) — the fault schedule is unaffected, only the
+/// recovery latency.
+constexpr double kFastRetransmitS = 0.002;
+
+/// Run the distributed loop with `num_agents` real score_agent daemons,
+/// scheduler-side chaos per `opts.config`, daemon-side chaos per
+/// `opts.agent_extra`.
+inline ChaosRun run_chaos(const std::vector<std::string>& world_args,
+                          std::size_t num_agents, const char* tag,
+                          const ChaosOptions& opts) {
+  const std::string path = unique_socket_path(tag);
+  util::ServerSocket server = util::ServerSocket::listen("unix:" + path);
+
+  AgentFleet fleet;
+  for (std::size_t i = 0; i < num_agents; ++i) {
+    std::vector<std::string> args = world_args;
+    args.insert(args.end(),
+                {"--retransmit-timeout", std::to_string(kFastRetransmitS)});
+    if (i < opts.agent_extra.size()) {
+      args.insert(args.end(), opts.agent_extra[i].begin(),
+                  opts.agent_extra[i].end());
+    }
+    fleet.spawn(server.address(), args);
+  }
+
+  std::vector<util::Socket> agents;
+  for (std::size_t i = 0; i < num_agents; ++i) {
+    agents.push_back(server.accept());
+  }
+
+  util::Flags flags = parse_world_flags(world_args);
+  tools::World w = tools::build_world(flags);
+  hypervisor::RemoteExecutorConfig config = opts.config;
+  config.link.retransmit_timeout_s = kFastRetransmitS;
+  hypervisor::RemoteAgentExecutor executor(std::move(agents), w.fingerprint,
+                                           config);
+  bool respawned = false;
+  if (opts.acceptor) {
+    executor.set_reconnect_acceptor(
+        [&server, &fleet, &world_args, &opts, &respawned](double timeout_s) {
+          if (opts.respawn_one && !respawned) {
+            respawned = true;
+            fleet.spawn(server.address(), world_args);
+          }
+          return server.accept_timeout(timeout_s);
+        });
+  }
+
+  hypervisor::DistributedScoreRuntime runtime(*w.model, *w.alloc, *w.tm,
+                                              w.runtime, executor);
+  ChaosRun out;
+  out.result = runtime.run();
+  for (core::VmId vm = 0; vm < w.alloc->num_vms(); ++vm) {
+    out.final_servers.push_back(w.alloc->server_of(vm));
+  }
+  out.stats = executor.recovery_stats();
+  out.agent_exit_codes = fleet.wait_all();
+  return out;
+}
+
+/// The in-process reference for the same flags (the fault-free truth).
+inline ChaosRun run_inprocess(const std::vector<std::string>& world_args) {
+  util::Flags flags = parse_world_flags(world_args);
+  tools::World w = tools::build_world(flags);
+  hypervisor::DistributedScoreRuntime runtime(*w.model, *w.alloc, *w.tm,
+                                              w.runtime);
+  ChaosRun out;
+  out.result = runtime.run();
+  for (core::VmId vm = 0; vm < w.alloc->num_vms(); ++vm) {
+    out.final_servers.push_back(w.alloc->server_of(vm));
+  }
+  return out;
+}
+
+}  // namespace score::chaos

@@ -1,0 +1,91 @@
+// Adversarial-transport chaos: every connection runs over a seeded
+// FaultyTransport that drops, duplicates, corrupts, truncates, reorders and
+// delays frames — and the run must still be BIT-IDENTICAL to the fault-free
+// one: same structural trace hash, same final cost, same per-VM allocation.
+// The ReliableLink absorbs every injected fault; retransmission happens in
+// real time, invisible to virtual time.
+//
+// SCORE_CHAOS_SEEDS widens the seed sweep (CI sets 8; default 2 keeps a
+// local `ctest -L chaos` quick).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "chaos_harness.hpp"
+
+namespace {
+
+using namespace score;
+using chaos::ChaosOptions;
+using chaos::ChaosRun;
+
+int num_chaos_seeds() {
+  if (const char* s = std::getenv("SCORE_CHAOS_SEEDS")) {
+    const int n = std::atoi(s);
+    if (n > 0) return n;
+  }
+  return 2;
+}
+
+void expect_bit_identical(const ChaosRun& faulty, const ChaosRun& clean,
+                          std::uint64_t seed) {
+  EXPECT_EQ(faulty.result.trace_hash, clean.result.trace_hash)
+      << "fault seed " << seed;
+  EXPECT_EQ(faulty.result.final_cost, clean.result.final_cost)
+      << "fault seed " << seed;
+  EXPECT_EQ(faulty.result.final_epoch, clean.result.final_epoch);
+  EXPECT_EQ(faulty.result.total_migrations, clean.result.total_migrations);
+  ASSERT_EQ(faulty.final_servers.size(), clean.final_servers.size());
+  EXPECT_EQ(faulty.final_servers, clean.final_servers)
+      << "final allocations diverge at fault seed " << seed;
+  for (std::size_t i = 0; i < faulty.agent_exit_codes.size(); ++i) {
+    EXPECT_EQ(faulty.agent_exit_codes[i], 0) << "agent " << i;
+  }
+}
+
+TEST(ChaosTransport, SeededFaultScheduleIsBitIdentical) {
+  const std::vector<std::string> args = {"--vms", "64", "--iterations", "2"};
+  const ChaosRun clean = chaos::run_chaos(args, 2, "clean", ChaosOptions{});
+
+  const int seeds = num_chaos_seeds();
+  for (int s = 1; s <= seeds; ++s) {
+    ChaosOptions opts;
+    opts.config.fault_seed = static_cast<std::uint64_t>(s) * 0x9e37 + 11;
+    opts.config.fault_profile = util::FaultProfile::chaos(0.05);
+    const ChaosRun faulty = chaos::run_chaos(args, 2, "seeded", opts);
+    expect_bit_identical(faulty, clean, opts.config.fault_seed);
+    EXPECT_GT(faulty.stats.faults_injected, 0u) << "adversary never fired";
+  }
+}
+
+TEST(ChaosTransport, HighFaultRateStillConverges) {
+  // 15% per-frame fault probability: the link earns its keep. Identity (not
+  // just convergence) must still hold.
+  const std::vector<std::string> args = {"--vms", "64", "--iterations", "2"};
+  const ChaosRun clean = chaos::run_chaos(args, 2, "hiclean", ChaosOptions{});
+
+  ChaosOptions opts;
+  opts.config.fault_seed = 1337;
+  opts.config.fault_profile = util::FaultProfile::chaos(0.15);
+  const ChaosRun faulty = chaos::run_chaos(args, 2, "hirate", opts);
+  expect_bit_identical(faulty, clean, 1337);
+  EXPECT_GT(faulty.stats.link_retransmitted_frames, 0u);
+}
+
+TEST(ChaosTransport, FaultyRunMatchesInProcessReference) {
+  // Transitivity check against the in-process executor: adversarial
+  // multi-process == clean multi-process == in-process, one hop.
+  const std::vector<std::string> args = {"--vms", "96", "--iterations", "2"};
+  const ChaosRun ref = chaos::run_inprocess(args);
+
+  ChaosOptions opts;
+  opts.config.fault_seed = 42;
+  const ChaosRun faulty = chaos::run_chaos(args, 2, "vsref", opts);
+  EXPECT_EQ(faulty.result.trace_hash, ref.result.trace_hash);
+  EXPECT_EQ(faulty.result.final_cost, ref.result.final_cost);
+  EXPECT_EQ(faulty.final_servers, ref.final_servers);
+}
+
+}  // namespace

@@ -86,6 +86,15 @@ std::string unique_socket_path(const char* tag) {
          std::to_string(counter++) + ".sock";
 }
 
+/// The CI transport matrix sets SCORE_CP_TRANSPORT=tcp to run every scenario
+/// over loopback TCP (ephemeral port) instead of a unix socket; the framing
+/// and trace guarantees must hold identically on both.
+std::string listen_address(const char* tag) {
+  const char* t = std::getenv("SCORE_CP_TRANSPORT");
+  if (t != nullptr && std::string(t) == "tcp") return "tcp:127.0.0.1:0";
+  return "unix:" + unique_socket_path(tag);
+}
+
 struct MultiProcessRun {
   hypervisor::RuntimeResult result;
   std::vector<core::ServerId> final_servers;
@@ -96,8 +105,7 @@ struct MultiProcessRun {
 /// over a loopback unix socket; the test process is the scheduler.
 MultiProcessRun run_multiprocess(const std::vector<std::string>& world_args,
                                  std::size_t num_agents, const char* tag) {
-  const std::string path = unique_socket_path(tag);
-  util::ServerSocket server = util::ServerSocket::listen("unix:" + path);
+  util::ServerSocket server = util::ServerSocket::listen(listen_address(tag));
 
   AgentFleet fleet;
   for (std::size_t i = 0; i < num_agents; ++i) {
@@ -214,8 +222,8 @@ TEST(ControlPlane, MigrationBudgetMatchesInProcess) {
 }
 
 TEST(ControlPlane, FingerprintMismatchIsRejected) {
-  const std::string path = unique_socket_path("mismatch");
-  util::ServerSocket server = util::ServerSocket::listen("unix:" + path);
+  util::ServerSocket server =
+      util::ServerSocket::listen(listen_address("mismatch"));
 
   AgentFleet fleet;
   // The daemon builds a 64-VM world; the scheduler expects 32 VMs.

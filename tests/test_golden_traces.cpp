@@ -227,7 +227,7 @@ TEST(GoldenTraces, ControlPlaneWireTrace) {
   struct TypeStat {
     std::uint64_t to_count = 0, to_bytes = 0, from_count = 0, from_bytes = 0;
   };
-  TypeStat stats[9];
+  TypeStat stats[10];
   std::uint64_t wire_fnv = hypervisor::wire::fnv1a_bytes({});
   std::uint64_t frames = 0;
   executor.set_wire_tap(
@@ -254,15 +254,16 @@ TEST(GoldenTraces, ControlPlaneWireTrace) {
     ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
   }
 
-  static const char* kTypeNames[9] = {"?",       "hello", "init",  "deliver",
-                                      "timer",   "apply", "shutdown",
-                                      "result",  "final"};
+  static const char* kTypeNames[10] = {"?",        "hello",  "init",
+                                       "deliver",  "timer",  "apply",
+                                       "shutdown", "result", "final",
+                                       "adopt"};
   std::ostringstream out;
   out << "score-golden v1\n";
   out << "case control-plane-wire\n";
   out << "world fattree-k4 vms 48 iterations 2 agents 2\n";
   out << "frames " << frames << "\n";
-  for (int t = 1; t <= 8; ++t) {
+  for (int t = 1; t <= 9; ++t) {
     out << "type " << kTypeNames[t] << " to " << stats[t].to_count << ' '
         << stats[t].to_bytes << " from " << stats[t].from_count << ' '
         << stats[t].from_bytes << "\n";

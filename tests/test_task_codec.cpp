@@ -97,6 +97,14 @@ std::vector<TaskFrame> all_frames() {
   hello.fingerprint = 0x0123456789abcdefULL;
   out.push_back(hello);
 
+  TaskFrame resume_hello;
+  resume_hello.type = score::hypervisor::TaskType::kHello;
+  resume_hello.fingerprint = 0x0123456789abcdefULL;
+  resume_hello.resuming = true;
+  resume_hello.resume_pos = 421;
+  resume_hello.agent_id = 3;
+  out.push_back(resume_hello);
+
   TaskFrame init;
   init.type = score::hypervisor::TaskType::kInit;
   init.seq = 1;
@@ -152,6 +160,13 @@ std::vector<TaskFrame> all_frames() {
   fin.total_migrations = 254;
   fin.total_holds = 768;
   out.push_back(fin);
+
+  TaskFrame adopt;
+  adopt.type = score::hypervisor::TaskType::kAdopt;
+  adopt.seq = 22;
+  adopt.host_begin = 120;
+  adopt.host_end = 160;
+  out.push_back(adopt);
 
   return out;
 }
@@ -223,7 +238,7 @@ TEST(TaskCodec, DecodeRejectsBadMagicVersionAndType) {
   std::vector<std::uint8_t> bad_type = buf;
   bad_type[5] = 0;
   EXPECT_THROW(decode_task(bad_type), std::invalid_argument);
-  bad_type[5] = 9;
+  bad_type[5] = 10;
   EXPECT_THROW(decode_task(bad_type), std::invalid_argument);
 }
 

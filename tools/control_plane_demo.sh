@@ -7,15 +7,19 @@
 # This is the CI control-plane-integration entry point; the wire trace is
 # written next to the logs so it can be uploaded as an artifact on failure.
 #
-# Usage: tools/control_plane_demo.sh [build-dir] [num-agents] [out-dir]
+# Usage: tools/control_plane_demo.sh [build-dir] [num-agents] [out-dir] [transport]
 #   build-dir   default: build
 #   num-agents  default: 4
 #   out-dir     default: a fresh mktemp -d (logs, socket, wire trace)
+#   transport   unix (default) or tcp — tcp listens on an ephemeral loopback
+#               port and the agents parse the bound address from the
+#               scheduler log, so runs never collide on a fixed port
 set -euo pipefail
 
 build_dir="${1:-build}"
 num_agents="${2:-4}"
 out_dir="${3:-$(mktemp -d)}"
+transport="${4:-unix}"
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
 
@@ -32,19 +36,45 @@ mkdir -p "$out_dir"
 
 # Canonical paper-scale world: 128 racks x 5 hosts x 4 slots = 2560 slots.
 world_flags=(--racks 128 --vms 1024 --iterations 2)
-sock="$out_dir/score.sock"
 
-echo "control_plane_demo: 1 scheduler + $num_agents agents, world:" \
-     "${world_flags[*]}  (logs in $out_dir)"
+case "$transport" in
+  unix) listen="unix:$out_dir/score.sock" ;;
+  tcp)  listen="tcp:127.0.0.1:0" ;;
+  *)    echo "control_plane_demo: unknown transport '$transport' (unix|tcp)" >&2
+        exit 1 ;;
+esac
 
-"$scheduler" --listen "unix:$sock" --agents "$num_agents" \
+echo "control_plane_demo: 1 scheduler + $num_agents agents over $transport," \
+     "world: ${world_flags[*]}  (logs in $out_dir)"
+
+"$scheduler" --listen "$listen" --agents "$num_agents" \
   --wire-trace "$out_dir/wire.trace" "${world_flags[@]}" \
   > "$out_dir/scheduler.log" 2>&1 &
 sched_pid=$!
 
+# The scheduler prints (and flushes) the bound address before the first
+# accept — for tcp:...:0 that is the only way to learn the ephemeral port.
+connect=""
+for _ in $(seq 1 100); do
+  connect="$(sed -n 's/^score_scheduler: listening on \([^,]*\),.*/\1/p' \
+             "$out_dir/scheduler.log" 2>/dev/null || true)"
+  [ -n "$connect" ] && break
+  if ! kill -0 "$sched_pid" 2>/dev/null; then
+    echo "control_plane_demo: scheduler died before listening" >&2
+    cat "$out_dir/scheduler.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$connect" ]; then
+  echo "control_plane_demo: scheduler never printed its listen address" >&2
+  cat "$out_dir/scheduler.log" >&2
+  exit 1
+fi
+
 agent_pids=()
 for i in $(seq 1 "$num_agents"); do
-  "$agent" --connect "unix:$sock" --connect-timeout 30 "${world_flags[@]}" \
+  "$agent" --connect "$connect" --connect-timeout 30 "${world_flags[@]}" \
     > "$out_dir/agent$i.log" 2>&1 &
   agent_pids+=($!)
 done
