@@ -22,6 +22,16 @@ std::vector<VmRange> partition_vms(std::size_t num_vms, std::size_t shards) {
   return ranges;
 }
 
+double shard_partial_sum(const CostModel& model, const Allocation& alloc,
+                         const traffic::TrafficMatrix& tm,
+                         const VmRange& range) {
+  double sum = 0.0;
+  for (VmId u = range.first; u <= range.last; ++u) {
+    sum += model.vm_cost(alloc, tm, u);
+  }
+  return sum;
+}
+
 ShardedCostOracle::ShardedCostOracle(const topo::Topology& topology,
                                      LinkWeights weights,
                                      std::vector<VmRange> partitions) {
@@ -119,14 +129,10 @@ double ShardedCostOracle::reconcile(const Allocation& master,
   last_sums_.assign(shards_.size(), 0.0);
   util::for_each_shard(policy, shards_.size(), [&](std::size_t t) {
     const Shard& shard = shards_[t];
-    double sum = 0.0;
-    for (VmId u = shard.range.first; u <= shard.range.last; ++u) {
-      // `master` is never a shard's bound pair (shards bind their private
-      // snapshots), so this is the brute-force Eq. (1) walk — pure, hence
-      // safe to run concurrently with the other shards' sums.
-      sum += shard.model->vm_cost(master, tm, u);
-    }
-    last_sums_[t] = sum;
+    // `master` is never a shard's bound pair (shards bind their private
+    // snapshots), so this is the brute-force Eq. (1) walk — pure, hence
+    // safe to run concurrently with the other shards' sums.
+    last_sums_[t] = shard_partial_sum(*shard.model, master, tm, shard.range);
   });
   double total = 0.0;
   for (const double sum : last_sums_) total += sum;  // fixed order: shard 0..k-1

@@ -47,6 +47,16 @@ struct VmRange {
 /// carve-up). `shards` is clamped to [1, num_vms]; num_vms must be > 0.
 std::vector<VmRange> partition_vms(std::size_t num_vms, std::size_t shards);
 
+/// Un-halved Eq. (1) partial sum Σ_{u∈range} C^A(u) of one shard's VM range —
+/// the per-shard term reconcile() halves and adds up. `model` may be any
+/// CostModel: a CachedCostModel *bound* to (alloc, tm) serves each term from
+/// its cache in O(1) (how driver/streaming arms per-shard drift baselines),
+/// an unbound model recomputes brute-force (how reconcile and the
+/// SCORE_CHECK_CACHE attribution check stay independent of cache state).
+double shard_partial_sum(const CostModel& model, const Allocation& alloc,
+                         const traffic::TrafficMatrix& tm,
+                         const VmRange& range);
+
 class ShardedCostOracle {
  public:
   /// Partitions must be non-empty and pairwise disjoint; they are assumed to

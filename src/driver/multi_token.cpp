@@ -1,6 +1,7 @@
 #include "driver/multi_token.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 #include <tuple>
 
@@ -37,6 +38,23 @@ SimResult MultiTokenSimulation::run(const MultiTokenConfig& config) {
   const std::size_t tokens = partitions.size();
   core::ShardedCostOracle oracle(topology, model.weights(), partitions);
 
+  // Shards that actually take token rounds this run (see restrict_shards).
+  std::vector<std::size_t> walk_shards = config.restrict_shards;
+  if (walk_shards.empty()) {
+    walk_shards.resize(tokens);
+    std::iota(walk_shards.begin(), walk_shards.end(), std::size_t{0});
+  } else {
+    std::sort(walk_shards.begin(), walk_shards.end());
+    walk_shards.erase(std::unique(walk_shards.begin(), walk_shards.end()),
+                      walk_shards.end());
+    if (walk_shards.back() >= tokens) {
+      throw std::invalid_argument(
+          "MultiTokenSimulation: restrict_shards index out of range");
+    }
+  }
+  std::size_t walked_vms = 0;
+  for (const std::size_t t : walk_shards) walked_vms += partitions[t].size();
+
   SimResult result;
   result.initial_cost = model.total_cost(*alloc_, *tm_);
   double cost = result.initial_cost;
@@ -66,7 +84,8 @@ SimResult MultiTokenSimulation::run(const MultiTokenConfig& config) {
     // (its snapshot, its cache, its ShardPass slot), so the outcome is a
     // pure function of the pass-start snapshot for any execution policy.
     std::vector<ShardPass> walked(tokens);
-    util::for_each_shard(config.policy, tokens, [&](std::size_t t) {
+    util::for_each_shard(config.policy, walk_shards.size(), [&](std::size_t j) {
+      const std::size_t t = walk_shards[j];
       ShardPass& out = walked[t];
       Allocation& snap = oracle.shard_alloc(t);
       const core::CachedCostModel& shard_model = oracle.shard_model(t);
@@ -141,10 +160,10 @@ SimResult MultiTokenSimulation::run(const MultiTokenConfig& config) {
     for (const ShardPass& sp : walked) max_busy = std::max(max_busy, sp.busy_until_s);
 
     IterationStats it;
-    it.holds = num_vms;
+    it.holds = walked_vms;
     it.migrations = pass_migrations;
     it.migrated_ratio =
-        static_cast<double>(pass_migrations) / static_cast<double>(num_vms);
+        static_cast<double>(pass_migrations) / static_cast<double>(walked_vms);
     it.cost_at_end = cost;
     it.time_at_end_s = pass_start_s + max_busy;
     result.iterations.push_back(it);

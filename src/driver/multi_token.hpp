@@ -50,6 +50,16 @@ struct MultiTokenConfig {
   /// Where shard walks + reconciliation run. Results are identical for every
   /// policy; par(n) shrinks wall-clock with the token count.
   util::ExecPolicy policy = util::ExecPolicy::seq();
+  /// Token-shard indices (into partition_vms(num_vms, tokens)) whose VM
+  /// ranges take token rounds this run. Empty (the default) walks every
+  /// shard — the classic full pass. Indices are deduplicated; out-of-range
+  /// entries throw. Partial re-optimisation (driver/streaming) uses this to
+  /// confine token rounds to drifted shards: unrestricted shards propose no
+  /// moves (so the incremental begin_pass touched set stays correct), but
+  /// snapshots, merge revalidation and reconciliation still span the whole
+  /// world — reported costs remain true Eq. (2) totals and every commit is
+  /// still validated against the live master.
+  std::vector<std::size_t> restrict_shards;
 };
 
 class MultiTokenSimulation {

@@ -17,7 +17,30 @@
 // wait (bounded staleness); the matrix is never mutated concurrently with a
 // read. Apart from wall-clock, the result is deterministic: batch contents
 // and arrival order are fixed by the stream seed, and drift is evaluated
-// once per batch.
+// once per batch. The queue is closed and the producer joined on *every*
+// exit path (including a throwing fold or re-optimisation) by an RAII
+// guard, so no run() outcome leaks a joinable thread or a producer blocked
+// on backpressure.
+//
+// Sharded ingest (ingest_shards > 1) partitions drift *attribution* per VM
+// shard while the matrix stays single-owner: the apply records each pair's
+// effective rate transition through the observer seam, the records are
+// demuxed into one bounded IngestQueue per shard (a record reaches every
+// shard owning one of its endpoints), and per-shard fold workers (one
+// for_each_shard job per shard under `exec`) drain their queue and
+// accumulate the shard's share of the Eq. (1) perturbation:
+//
+//   D_t += Σ_records (#endpoints in shard t) · ½·pair_cost(|Δλ|, ℓ(u,v))
+//
+// against the read-only allocation — the same per-endpoint arithmetic the
+// bound cache folds, so Σ_t over a record is exactly its worst-case Eq. (2)
+// movement and D_t ≥ |ΔS_t| (the shard's true partial-sum drift) by the
+// triangle inequality. Each shard arms its own DriftTrigger on the shard's
+// Eq. (2) partial sum; when a shard's attributed drift crosses the
+// threshold, re-optimisation can be confined to the drifted shards' VM
+// ranges (partial_reopt → MultiTokenConfig::restrict_shards). Worker t
+// writes only accumulator t, so the fold is race-free and bit-identical
+// across seq/par(n).
 #pragma once
 
 #include <cstdint>
@@ -104,6 +127,30 @@ struct StreamingConfig {
   bool fresh_reference = true;
   /// Iteration cap for the fresh reference.
   std::size_t reopt_iterations = 12;
+
+  // ---- sharded ingest + partial re-optimisation ----------------------------
+  /// > 1 partitions drift attribution per VM shard (see the module comment):
+  /// per-shard demux queues, parallel fold workers under `exec`, one
+  /// DriftTrigger per shard. 1 (the default) keeps the single global drift
+  /// scalar — bit-for-bit the pre-sharding behaviour.
+  std::size_t ingest_shards = 1;
+  /// With ingest_shards > 1 and centralized mode: confine each triggered
+  /// re-optimisation's token rounds to the token shards overlapping the
+  /// drifted ingest shards' VM ranges (MultiTokenConfig::restrict_shards).
+  /// Rejected with distributed mode (dom0 agents always walk their world).
+  bool partial_reopt = false;
+  /// Capacity of each per-shard demux queue (0 = inherit queue_capacity).
+  /// The tick-phased engine drains every shard queue before the next apply,
+  /// so depth never exceeds 1 per queue; the bound is still enforced and
+  /// reported so external feeders reuse the same backpressure semantics.
+  std::size_t shard_queue_capacity = 0;
+
+  // ---- diagnostics ---------------------------------------------------------
+  /// Optional observer registered on the live matrix for the whole run (not
+  /// owned). Sees every effective rate transition the ingest path commits;
+  /// may throw to abort the run — the engine still joins the producer and
+  /// propagates. Must tolerate on_bulk_update/on_matrix_destroyed.
+  traffic::TrafficObserver* tap = nullptr;
 };
 
 /// One drift-triggered re-optimisation.
@@ -113,12 +160,22 @@ struct ReoptEvent {
   double cost_before = 0.0;   ///< cached total when triggered
   double cost_after = 0.0;    ///< after the token rounds
   double fresh_cost = 0.0;    ///< fresh-placement reference (0 if disabled)
+  bool fresh_computed = false;  ///< fresh_cost is a real reference
   std::size_t migrations = 0;
   std::size_t rounds = 0;
+  bool partial = false;  ///< token rounds confined to drifted shards
+  /// Ingest-shard indices whose triggers fired (sharded mode; empty for the
+  /// global scalar trigger).
+  std::vector<std::size_t> drifted_shards;
 
-  /// Steady-state quality vs. starting over (≈1 is the paper's band).
-  double cost_ratio() const {
-    return fresh_cost > 0.0 ? cost_after / fresh_cost : 1.0;
+  /// Steady-state quality vs. starting over (≈1 is the paper's band):
+  /// cost_after / fresh_cost when the reference is positive; +infinity when
+  /// a *computed* reference is zero but the achieved cost is not (a real
+  /// regression — the pre-fix code silently reported 1.0 here); quiet NaN
+  /// when undefined (reference disabled, or 0-cost state vs 0 reference).
+  double cost_ratio() const;
+  bool cost_ratio_defined() const {
+    return fresh_cost > 0.0 || (fresh_computed && cost_after > 0.0);
   }
 };
 
@@ -131,7 +188,23 @@ struct StreamingReport {
   std::vector<ReoptEvent> reopts;
   double initial_cost = 0.0;  ///< after the initial optimisation
   double final_cost = 0.0;
-  double final_fresh_cost = 0.0;  ///< fresh reference on the final matrix
+  double final_fresh_cost = 0.0;    ///< fresh reference on the final matrix
+  bool final_fresh_computed = false;  ///< final_fresh_cost is a real reference
+
+  // ---- sharded ingest ------------------------------------------------------
+  std::size_t ingest_shards = 1;         ///< shard count the run used
+  std::size_t partial_reopts = 0;        ///< reopts with restricted rounds
+  std::size_t max_shard_queue_depth = 0;  ///< high-water over demux queues
+
+  // ---- latency percentiles -------------------------------------------------
+  /// One sample per consumed batch: apply + (sharded) demux + drift fold.
+  std::vector<double> fold_latency_ns;
+  /// One sample per per-batch trigger decision (drift evaluation only).
+  std::vector<double> trigger_latency_ns;
+  double fold_p50_ns() const;
+  double fold_p99_ns() const;
+  double trigger_p50_ns() const;
+  double trigger_p99_ns() const;
 
   double deltas_per_reopt() const {
     return reopts.empty() ? static_cast<double>(deltas_applied)
@@ -139,8 +212,14 @@ struct StreamingReport {
                                 static_cast<double>(reopts.size());
   }
 
-  /// Worst cost ratio over every trigger and the final state.
+  /// Worst *defined* cost ratio over every trigger and the final state
+  /// (+infinity counts as defined: zero reference, nonzero cost). Quiet NaN
+  /// when no ratio is defined — callers that gate on this must check
+  /// undefined_cost_ratios() / NaN instead of assuming a benign 1.0, which
+  /// is exactly the masking the old implementation baked in.
   double max_cost_ratio() const;
+  /// Ratios (triggers + final state) with no defined value.
+  std::size_t undefined_cost_ratios() const;
 };
 
 class StreamingEngine {

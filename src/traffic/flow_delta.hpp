@@ -37,11 +37,19 @@ struct FlowDelta {
 };
 
 /// An ordered batch of flow deltas — the ingest unit. Deltas are applied in
-/// order, so two deltas to the same pair accumulate.
+/// order, so two deltas to the same pair accumulate. The sharded ingest path
+/// (driver/streaming) also uses batches as its demux unit: effective rate
+/// transitions recorded during an apply are re-expressed as one FlowDelta
+/// per change and routed to per-shard sub-batches.
 class FlowDeltaBatch {
  public:
   void push(VmId u, VmId v, double delta) { deltas_.push_back({u, v, delta}); }
   void push(const FlowDelta& d) { deltas_.push_back(d); }
+
+  /// Concatenate `other`'s deltas after this batch's (both orders kept).
+  void append(const FlowDeltaBatch& other) {
+    deltas_.insert(deltas_.end(), other.deltas_.begin(), other.deltas_.end());
+  }
 
   std::size_t size() const { return deltas_.size(); }
   bool empty() const { return deltas_.empty(); }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace score::traffic {
@@ -35,6 +36,20 @@ FlowDeltaBatch diff_batch(const TrafficMatrix& from, const TrafficMatrix& to) {
   auto key = [](const std::tuple<VmId, VmId, double>& p) {
     return std::make_pair(std::get<0>(p), std::get<1>(p));
   };
+  // The merge below silently misclassifies vanished/new pairs if either list
+  // is not strictly increasing by key. pairs() sorts on the way out of the
+  // CSR+overflow layout, so this holds today for any compaction state — make
+  // the precondition loud instead of trusting every future layout change.
+  auto check_sorted = [&key](const auto& pairs, const char* which) {
+    for (std::size_t k = 1; k < pairs.size(); ++k) {
+      if (!(key(pairs[k - 1]) < key(pairs[k]))) {
+        throw std::logic_error(std::string("diff_batch: ") + which +
+                               ".pairs() not strictly key-sorted");
+      }
+    }
+  };
+  check_sorted(fp, "from");
+  check_sorted(tp, "to");
   while (i < fp.size() || j < tp.size()) {
     if (j == tp.size() || (i < fp.size() && key(fp[i]) < key(tp[j]))) {
       // Pair vanished: drive it exactly to zero (apply() removes it).
@@ -110,6 +125,15 @@ FlowDeltaBatch FlowEventStream::next_batch() {
     }
   }
   return batch;
+}
+
+ShardMap::ShardMap(std::size_t num_vms, std::size_t shards)
+    : num_vms_(num_vms),
+      shards_(std::max<std::size_t>(1, std::min(shards, num_vms))),
+      base_(num_vms / shards_),
+      extra_(num_vms % shards_),
+      boundary_(extra_ * (base_ + 1)) {
+  if (num_vms == 0) throw std::invalid_argument("ShardMap: no VMs");
 }
 
 void IngestQueue::push(FlowDeltaBatch batch) {

@@ -36,6 +36,13 @@ namespace score::traffic {
 /// retract-then-re-add pair when no single representable delta lands — so
 /// applying the batch to a copy of `from` yields a matrix whose pairs()
 /// equal `to`'s exactly.
+///
+/// The merge walk requires both pairs() lists strictly increasing by (u, v)
+/// key — TrafficMatrix::pairs() guarantees this even with live tombstones
+/// and uncompacted overflow entries (it sorts on the way out), and
+/// diff_batch verifies it (throws std::logic_error on violation) rather
+/// than silently misclassifying vanished/new pairs if a future matrix
+/// layout ever breaks the guarantee.
 FlowDeltaBatch diff_batch(const TrafficMatrix& from, const TrafficMatrix& to);
 
 /// The additive delta d with fl(from + d) == to, when one exists within a
@@ -87,6 +94,34 @@ class FlowEventStream {
   std::size_t num_vms_;
   std::vector<Flow> flows_;
   util::Rng rng_;
+};
+
+/// VM id → shard index router for the sharded ingest path: the same
+/// contiguous carve-up as core::partition_vms (first `num_vms % shards`
+/// shards get one extra id), computed arithmetically so a lookup is O(1)
+/// with no table. Keeping the formula here (below core in the layer stack)
+/// lets the traffic layer route deltas by shard while core remains the
+/// owner of the VmRange view; test_streaming locks the two in agreement.
+class ShardMap {
+ public:
+  /// `shards` is clamped to [1, num_vms]; num_vms must be > 0.
+  ShardMap(std::size_t num_vms, std::size_t shards);
+
+  std::size_t shard_of(VmId u) const {
+    const std::size_t id = u;
+    return id < boundary_ ? id / (base_ + 1)
+                          : extra_ + (id - boundary_) / base_;
+  }
+
+  std::size_t num_shards() const { return shards_; }
+  std::size_t num_vms() const { return num_vms_; }
+
+ private:
+  std::size_t num_vms_;
+  std::size_t shards_;
+  std::size_t base_;      ///< num_vms / shards
+  std::size_t extra_;     ///< num_vms % shards (shards holding base_+1 ids)
+  std::size_t boundary_;  ///< first id owned by a base_-sized shard
 };
 
 /// Handoff of delta batches between one or more producers and the consumer

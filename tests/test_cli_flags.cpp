@@ -80,6 +80,10 @@ TEST(CliFlags, ModeIncompatibleCombosAreRejected) {
   expect_one_line_rejection("--arrival-prob 0.5", "--arrival-prob");
   expect_one_line_rejection("--mode distributed --tenant-vms 8",
                             "--tenant-vms");
+  // Sharded ingest / partial re-opt are streaming-mode knobs.
+  expect_one_line_rejection("--ingest-shards 4", "--ingest-shards");
+  expect_one_line_rejection("--mode continuous --partial-reopt",
+                            "--partial-reopt");
 }
 
 TEST(CliFlags, DistributedAliasStillConflictsWithCentralizedKnobs) {
@@ -99,6 +103,19 @@ TEST(CliFlags, ValidCombosStillRun) {
   const CliResult defaults =
       run_cli("--mode distributed --vms 16 --iterations 1");
   EXPECT_EQ(defaults.exit_code, 0) << defaults.output;
+
+  const CliResult sharded =
+      run_cli("--mode streaming --vms 16 --ticks 2 --batch-size 8 "
+              "--tokens 2 --ingest-shards 2 --partial-reopt");
+  EXPECT_EQ(sharded.exit_code, 0) << sharded.output;
+}
+
+TEST(CliFlags, PartialReoptWithoutShardsIsRejected) {
+  // Engine-level validation surfaces as the same one-line exit-2 contract.
+  const CliResult r = run_cli(
+      "--mode streaming --vms 16 --ticks 2 --batch-size 8 --partial-reopt");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("partial_reopt"), std::string::npos) << r.output;
 }
 
 }  // namespace

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
+#include "core/sharded_cost_oracle.hpp"
 #include "driver/multi_token.hpp"
 #include "core/token_policy.hpp"
 #include "helpers.hpp"
@@ -145,6 +147,70 @@ TEST_F(MultiTokenTest, StableStopWorks) {
   const auto res = MultiTokenSimulation(engine_, alloc, tm).run(cfg);
   EXPECT_LT(res.iterations.size(), 50u);
   EXPECT_EQ(res.iterations.back().migrations, 0u);
+}
+
+// ------------------------------------------------- restricted token rounds
+
+TEST_F(MultiTokenTest, RestrictAllShardsMatchesUnrestricted) {
+  Rng rng(71);
+  auto tm = random_tm(48, 3.0, rng);
+  auto alloc_a = random_allocation(topo_, 48, rng);
+  auto alloc_b = alloc_a;
+
+  MultiTokenConfig cfg;
+  cfg.tokens = 4;
+  cfg.iterations = 5;
+  const auto res_a = MultiTokenSimulation(engine_, alloc_a, tm).run(cfg);
+
+  cfg.restrict_shards = {3, 1, 0, 2, 2};  // every shard, unsorted, duplicated
+  const auto res_b = MultiTokenSimulation(engine_, alloc_b, tm).run(cfg);
+
+  // Naming every shard is the same run as naming none — bit for bit.
+  EXPECT_EQ(res_a.final_cost, res_b.final_cost);
+  EXPECT_EQ(res_a.migration_log, res_b.migration_log);
+  for (score::core::VmId u = 0; u < 48; ++u) {
+    EXPECT_EQ(alloc_a.server_of(u), alloc_b.server_of(u));
+  }
+}
+
+TEST_F(MultiTokenTest, RestrictSubsetOnlyMovesItsVms) {
+  Rng rng(72);
+  auto tm = random_tm(48, 3.0, rng);
+  auto alloc = random_allocation(topo_, 48, rng);
+  const auto partitions = score::core::partition_vms(48, 4);
+
+  MultiTokenConfig cfg;
+  cfg.tokens = 4;
+  cfg.iterations = 5;
+  cfg.restrict_shards = {1, 3};
+  const auto res = MultiTokenSimulation(engine_, alloc, tm).run(cfg);
+
+  // Only the restricted shards' VM ranges may take token rounds.
+  for (const auto& rec : res.migration_log) {
+    const bool in_shard1 = rec.vm >= partitions[1].first &&
+                           rec.vm <= partitions[1].last;
+    const bool in_shard3 = rec.vm >= partitions[3].first &&
+                           rec.vm <= partitions[3].last;
+    EXPECT_TRUE(in_shard1 || in_shard3) << "vm " << rec.vm;
+  }
+  // Commits stay strictly cost-reducing under restriction, and holds count
+  // only the walked ranges.
+  EXPECT_LE(res.final_cost, res.initial_cost + 1e-9);
+  ASSERT_FALSE(res.iterations.empty());
+  EXPECT_EQ(res.iterations.front().holds,
+            partitions[1].size() + partitions[3].size());
+  EXPECT_TRUE(alloc.check_consistency());
+}
+
+TEST_F(MultiTokenTest, RestrictOutOfRangeThrows) {
+  Rng rng(73);
+  auto tm = random_tm(24, 2.0, rng);
+  auto alloc = random_allocation(topo_, 24, rng);
+  MultiTokenConfig cfg;
+  cfg.tokens = 4;
+  cfg.restrict_shards = {4};  // shards are 0..3
+  EXPECT_THROW(MultiTokenSimulation(engine_, alloc, tm).run(cfg),
+               std::invalid_argument);
 }
 
 }  // namespace

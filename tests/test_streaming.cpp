@@ -10,8 +10,13 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <thread>
+#include <limits>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
 #include <vector>
+
+#include <thread>
 
 #include "core/cached_cost_model.hpp"
 #include "core/sharded_cost_oracle.hpp"
@@ -583,6 +588,408 @@ TEST(StreamingEngineE2E, DistributedModeReoptimises) {
   StreamingConfig bad = cfg;
   bad.mode = "sideways";
   EXPECT_THROW(StreamingEngine(topo, bad), std::invalid_argument);
+}
+
+// ------------------------------------------------------ bugfix regressions
+
+// A tap observer that throws after a fixed number of rate changes — the
+// consumer loop then throws out of tm.apply mid-stream. Before the RAII
+// producer guard, that destroyed a joinable std::thread (std::terminate),
+// with the producer potentially blocked forever on a full bounded queue.
+class ThrowingTap final : public score::traffic::TrafficObserver {
+ public:
+  explicit ThrowingTap(std::size_t fuse) : fuse_(fuse) {}
+  void on_rate_change(VmId, VmId, double, double) override {
+    if (++seen_ >= fuse_) throw std::runtime_error("tap fuse blown");
+  }
+  void on_bulk_update() override {}
+  void on_matrix_destroyed() override {}
+  std::size_t seen() const { return seen_; }
+
+ private:
+  std::size_t fuse_;
+  std::size_t seen_ = 0;
+};
+
+TEST(StreamingBugfix, ThrowingConsumerStillJoinsProducer) {
+  CanonicalTree topo(tiny_tree_config());
+  StreamingConfig cfg = small_streaming_config();
+  cfg.ticks = 64;          // plenty of batches left when the fuse blows ...
+  cfg.queue_capacity = 1;  // ... so the producer is blocked on backpressure
+  cfg.drift_threshold = 1e9;
+  ThrowingTap tap(200);
+  cfg.tap = &tap;
+  StreamingEngine engine(topo, cfg);
+  // The exception must propagate cleanly: queue closed, producer joined. A
+  // regression hangs this test (blocked producer) or aborts the process
+  // (joinable thread destructor / uncaught push-after-close in the producer).
+  EXPECT_THROW(engine.run(), std::runtime_error);
+  EXPECT_GE(tap.seen(), 200u);
+}
+
+TEST(StreamingBugfix, TapSeesEveryEffectiveTransition) {
+  CanonicalTree topo(tiny_tree_config());
+  StreamingConfig cfg = small_streaming_config();
+  cfg.ticks = 4;
+  cfg.drift_threshold = 1e9;
+  ThrowingTap tap(std::numeric_limits<std::size_t>::max());  // never throws
+  cfg.tap = &tap;
+  StreamingEngine engine(topo, cfg);
+  const StreamingReport report = engine.run();
+  // Effective transitions can be fewer than deltas (merged zero-deltas), but
+  // the tap must have observed the stream, and the run must have detached it
+  // before the matrix died (no crash at scope exit).
+  EXPECT_GT(tap.seen(), 0u);
+  EXPECT_LE(tap.seen(), report.deltas_applied);
+}
+
+TEST(StreamingBugfix, CostRatioSurfacesZeroFreshReference) {
+  // A computed-zero reference beaten by a nonzero achieved cost is the
+  // regression case the old code reported as a healthy 1.0.
+  score::driver::ReoptEvent ev;
+  ev.cost_after = 5.0;
+  ev.fresh_cost = 0.0;
+  ev.fresh_computed = true;
+  EXPECT_TRUE(ev.cost_ratio_defined());
+  EXPECT_TRUE(std::isinf(ev.cost_ratio()));
+
+  StreamingReport report;
+  report.final_cost = 5.0;
+  report.final_fresh_cost = 0.0;
+  report.final_fresh_computed = true;
+  report.reopts.push_back(ev);
+  EXPECT_TRUE(std::isinf(report.max_cost_ratio()));
+  EXPECT_EQ(report.undefined_cost_ratios(), 0u);
+
+  // Reference disabled: nothing to compare against — undefined, not 1.0.
+  StreamingReport disabled;
+  disabled.final_cost = 5.0;
+  EXPECT_TRUE(std::isnan(disabled.max_cost_ratio()));
+  EXPECT_EQ(disabled.undefined_cost_ratios(), 1u);
+
+  // 0-cost state vs computed 0 reference: vacuous, also undefined.
+  score::driver::ReoptEvent vacuous;
+  vacuous.fresh_computed = true;
+  EXPECT_FALSE(vacuous.cost_ratio_defined());
+  EXPECT_TRUE(std::isnan(vacuous.cost_ratio()));
+
+  // Defined ratios still dominate: the worst *defined* ratio is reported
+  // even when undefined ones are present.
+  StreamingReport mixed;
+  mixed.final_cost = 5.0;
+  mixed.final_fresh_cost = 4.0;
+  mixed.final_fresh_computed = true;
+  mixed.reopts.push_back(vacuous);
+  EXPECT_DOUBLE_EQ(mixed.max_cost_ratio(), 1.25);
+  EXPECT_EQ(mixed.undefined_cost_ratios(), 1u);
+
+  // DriftTrigger's zero-baseline path is the same contract: no baseline to
+  // measure against -> any nonzero cost is infinite drift, never "no drift".
+  DriftTrigger trigger(0.05);
+  trigger.arm(0.0);
+  EXPECT_TRUE(std::isinf(trigger.drift(1e-300)));
+  EXPECT_DOUBLE_EQ(trigger.drift(0.0), 0.0);
+}
+
+TEST(StreamingBugfix, DiffBatchWithLiveOverflowEntries) {
+  // Build a pair of matrices whose difference spans live CSR entries,
+  // tombstones (vanished pairs) and uncompacted overflow entries (post-build
+  // inserts) in both directions. diff_batch's merge walk assumes strictly
+  // key-sorted pairs(); the matrix guarantees it for any compaction state,
+  // and diff_batch now verifies rather than silently misclassifying.
+  Rng rng(9);
+  TrafficMatrix base = random_tm(64, 2.0, rng);
+  TrafficMatrix from = base;
+  TrafficMatrix to = base;
+  // Overflow inserts on both sides (new pairs go to the side-buffer), plus
+  // removals (tombstones) and rate changes on existing pairs.
+  from.set(60, 63, 7.5);
+  from.set(1, 62, 0.25);
+  to.set(61, 63, 3.25);
+  to.set(0, 63, 1.5);
+  const auto existing = base.pairs();
+  ASSERT_GE(existing.size(), 4u);
+  to.set(std::get<0>(existing[0]), std::get<1>(existing[0]), 0.0);  // vanish
+  to.set(std::get<0>(existing[1]), std::get<1>(existing[1]),
+         std::get<2>(existing[1]) * 3.0);
+  ASSERT_GT(from.overflow_entries(), 0u);  // the regression's precondition:
+  ASSERT_GT(to.overflow_entries(), 0u);    // live, uncompacted side-buffers
+
+  // pairs() must come out strictly key-sorted even with live overflow.
+  for (const auto* m : {&from, &to}) {
+    const auto p = m->pairs();
+    for (std::size_t i = 1; i < p.size(); ++i) {
+      ASSERT_LT(std::make_pair(std::get<0>(p[i - 1]), std::get<1>(p[i - 1])),
+                std::make_pair(std::get<0>(p[i]), std::get<1>(p[i])));
+    }
+  }
+
+  // The diff must reconstruct `to` from `from` bit-exactly in this state.
+  const FlowDeltaBatch batch = diff_batch(from, to);
+  TrafficMatrix rebuilt = from;
+  rebuilt.apply(batch);
+  EXPECT_EQ(rebuilt.pairs(), to.pairs());
+  // And the reverse direction too (vanished/new roles swapped).
+  const FlowDeltaBatch reverse = diff_batch(to, from);
+  TrafficMatrix back = to;
+  back.apply(reverse);
+  EXPECT_EQ(back.pairs(), from.pairs());
+}
+
+// ------------------------------------------------------- MPMC ingest queue
+
+TEST(IngestQueueTest, MultiProducerMultiConsumerStress) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 3;
+  constexpr int kBatchesPerProducer = 200;
+  IngestQueue queue(2);  // tight bound: producers block constantly
+
+  std::atomic<int> received{0};
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> consumers;
+  // Consumers start first and block on the empty-queue condvar.
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&queue, &received, &sum] {
+      FlowDeltaBatch batch;
+      while (queue.pop(batch)) {
+        received.fetch_add(1, std::memory_order_relaxed);
+        sum.fetch_add(static_cast<long long>(batch[0].delta),
+                      std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kBatchesPerProducer; ++i) {
+        FlowDeltaBatch batch;
+        batch.push(0, 1, static_cast<double>(p * kBatchesPerProducer + i));
+        queue.push(std::move(batch));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.close();  // wakes consumers blocked on empty; they drain and exit
+  for (auto& t : consumers) t.join();
+
+  constexpr long long kTotal = kProducers * kBatchesPerProducer;
+  EXPECT_EQ(received.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);  // every batch exactly once
+  EXPECT_LE(queue.max_depth(), queue.capacity());
+}
+
+TEST(IngestQueueTest, CloseWakesBlockedProducersAndConsumers) {
+  // Threads parked on *both* condvars — producers on space_cv_ (queue full),
+  // consumers on cv_ (queue empty) — must all wake on close(). Two phases so
+  // each side is provably blocked when close() lands.
+  {
+    IngestQueue full(1);
+    FlowDeltaBatch batch;
+    batch.push(0, 1, 1.0);
+    full.push(batch);
+    std::atomic<int> threw{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 3; ++p) {
+      producers.emplace_back([&full, &threw] {
+        try {
+          FlowDeltaBatch b;
+          b.push(2, 3, 2.0);
+          full.push(std::move(b));  // parked on space_cv_
+        } catch (const std::logic_error&) {
+          threw.fetch_add(1);
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    full.close();
+    for (auto& t : producers) t.join();
+    EXPECT_EQ(threw.load(), 3);
+    EXPECT_EQ(full.size(), 1u);  // no blocked batch was enqueued
+  }
+  {
+    IngestQueue empty;
+    std::atomic<int> drained{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 3; ++c) {
+      consumers.emplace_back([&empty, &drained] {
+        FlowDeltaBatch out;
+        if (!empty.pop(out)) drained.fetch_add(1);  // parked on cv_
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    empty.close();
+    for (auto& t : consumers) t.join();
+    EXPECT_EQ(drained.load(), 3);
+  }
+}
+
+// ---------------------------------------------------------------- ShardMap
+
+TEST(ShardMapTest, AgreesWithPartitionVms) {
+  using score::core::partition_vms;
+  using score::traffic::ShardMap;
+  // The arithmetic router and core's VmRange carve-up must name the same
+  // owner for every VM, for dividing and non-dividing counts and shard
+  // requests past the VM count.
+  const std::size_t cases[][2] = {{64, 4},  {64, 1},  {65, 4}, {7, 3},
+                                  {100, 7}, {5, 9},   {1, 1},  {2560, 16}};
+  for (const auto& c : cases) {
+    const auto ranges = partition_vms(c[0], c[1]);
+    const ShardMap map(c[0], c[1]);
+    ASSERT_EQ(map.num_shards(), ranges.size());
+    for (VmId u = 0; u < c[0]; ++u) {
+      const std::size_t s = map.shard_of(u);
+      ASSERT_LT(s, ranges.size());
+      EXPECT_GE(u, ranges[s].first);
+      EXPECT_LE(u, ranges[s].last);
+    }
+  }
+  EXPECT_THROW(ShardMap(0, 4), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- sharded ingest
+
+TEST(ShardedIngest, FoldBitExactAcrossShardingAndPolicies) {
+  CanonicalTree topo(tiny_tree_config());
+  StreamingConfig base = small_streaming_config();
+  base.drift_threshold = 1e9;  // pure ingest: no re-opts perturb the fold
+  StreamingEngine ref_engine(topo, base);
+  const StreamingReport ref = ref_engine.run();
+  EXPECT_EQ(ref.deltas_applied, ref.deltas_folded);
+
+  for (const std::size_t shards : {2u, 4u}) {
+    for (const auto& policy :
+         {score::util::ExecPolicy::seq(), score::util::ExecPolicy::par(1),
+          score::util::ExecPolicy::par(2), score::util::ExecPolicy::par(4)}) {
+      StreamingConfig cfg = base;
+      cfg.ingest_shards = shards;
+      cfg.exec = policy;
+      StreamingEngine engine(topo, cfg);
+      const StreamingReport rep = engine.run();
+      // The sharded demux only attributes drift — the matrix fold itself is
+      // byte-identical to the single-consumer path: same folded totals, same
+      // delta counts, still zero ingest-path rebuilds.
+      EXPECT_EQ(rep.final_cost, ref.final_cost);
+      EXPECT_EQ(rep.deltas_applied, ref.deltas_applied);
+      EXPECT_EQ(rep.deltas_folded, ref.deltas_folded);
+      EXPECT_EQ(rep.cache_rebuilds, ref.cache_rebuilds);
+      EXPECT_EQ(rep.ingest_shards, shards);
+      EXPECT_EQ(rep.reopts.size(), 0u);
+      EXPECT_LE(rep.max_shard_queue_depth, 1u);
+    }
+  }
+}
+
+TEST(ShardedIngest, PartialReoptDeterministicAcrossPolicies) {
+  CanonicalTree topo(tiny_tree_config());
+  StreamingConfig cfg = small_streaming_config();
+  cfg.ticks = 12;
+  cfg.drift_threshold = 0.05;
+  cfg.ingest_shards = 4;
+  cfg.partial_reopt = true;
+  cfg.tokens = 4;
+
+  std::vector<StreamingReport> reports;
+  for (const auto& policy :
+       {score::util::ExecPolicy::seq(), score::util::ExecPolicy::par(1),
+        score::util::ExecPolicy::par(2), score::util::ExecPolicy::par(4)}) {
+    StreamingConfig run_cfg = cfg;
+    run_cfg.exec = policy;
+    StreamingEngine engine(topo, run_cfg);
+    reports.push_back(engine.run());
+  }
+  const StreamingReport& ref = reports.front();
+  EXPECT_GT(ref.reopts.size(), 0u);
+  for (const StreamingReport& rep : reports) {
+    EXPECT_EQ(rep.final_cost, ref.final_cost);
+    EXPECT_EQ(rep.deltas_applied, ref.deltas_applied);
+    EXPECT_EQ(rep.partial_reopts, ref.partial_reopts);
+    ASSERT_EQ(rep.reopts.size(), ref.reopts.size());
+    for (std::size_t i = 0; i < rep.reopts.size(); ++i) {
+      EXPECT_EQ(rep.reopts[i].tick, ref.reopts[i].tick);
+      EXPECT_EQ(rep.reopts[i].drift, ref.reopts[i].drift);
+      EXPECT_EQ(rep.reopts[i].cost_before, ref.reopts[i].cost_before);
+      EXPECT_EQ(rep.reopts[i].cost_after, ref.reopts[i].cost_after);
+      EXPECT_EQ(rep.reopts[i].migrations, ref.reopts[i].migrations);
+      EXPECT_EQ(rep.reopts[i].partial, ref.reopts[i].partial);
+      EXPECT_EQ(rep.reopts[i].drifted_shards, ref.reopts[i].drifted_shards);
+    }
+  }
+}
+
+TEST(ShardedIngest, PartialReoptRestrictionMatchesDriftedShards) {
+  CanonicalTree topo(tiny_tree_config());
+  StreamingConfig cfg = small_streaming_config();
+  cfg.ticks = 16;
+  cfg.events.events_per_tick = 24;  // localised churn: shards drift apart
+  cfg.drift_threshold = 0.04;
+  cfg.ingest_shards = 4;
+  cfg.partial_reopt = true;
+  cfg.tokens = 4;
+  StreamingEngine engine(topo, cfg);
+  const StreamingReport report = engine.run();
+  ASSERT_GT(report.reopts.size(), 0u);
+
+  // With ingest shards == token shards over the same carve-up, an event is
+  // partial exactly when its drifted set is a strict subset of the shards.
+  std::size_t partial_seen = 0;
+  for (const auto& ev : report.reopts) {
+    ASSERT_FALSE(ev.drifted_shards.empty());
+    EXPECT_EQ(ev.partial, ev.drifted_shards.size() < 4u);
+    if (ev.partial) ++partial_seen;
+  }
+  EXPECT_EQ(report.partial_reopts, partial_seen);
+  EXPECT_GT(partial_seen, 0u);  // localised churn must yield a partial run
+}
+
+TEST(ShardedIngest, PartialReoptStaysWithinFreshBand) {
+  CanonicalTree topo(tiny_tree_config());
+  StreamingConfig cfg;  // paper-default capacity: slack for feasible moves
+  cfg.generator.num_vms = 128;
+  cfg.generator.seed = 42;
+  cfg.events.events_per_tick = 128;
+  cfg.events.seed = 97;
+  cfg.ticks = 10;
+  cfg.drift_threshold = 0.05;
+  cfg.tokens = 4;
+  cfg.iterations_per_reopt = 12;
+  cfg.fresh_reference = true;
+  cfg.ingest_shards = 4;
+  cfg.partial_reopt = true;
+  StreamingEngine engine(topo, cfg);
+  const StreamingReport report = engine.run();
+  EXPECT_GT(report.reopts.size(), 0u);
+  EXPECT_EQ(report.undefined_cost_ratios(), 0u);
+  // Partial re-optimisation must hold the same steady-state band as full.
+  EXPECT_LE(report.max_cost_ratio(), 1.05);
+}
+
+TEST(ShardedIngest, LatencyPercentilesRecorded) {
+  CanonicalTree topo(tiny_tree_config());
+  StreamingConfig cfg = small_streaming_config();
+  cfg.ingest_shards = 2;
+  StreamingEngine engine(topo, cfg);
+  const StreamingReport report = engine.run();
+  ASSERT_EQ(report.fold_latency_ns.size(), cfg.ticks);
+  ASSERT_EQ(report.trigger_latency_ns.size(), cfg.ticks);
+  for (const double ns : report.fold_latency_ns) EXPECT_GE(ns, 0.0);
+  EXPECT_LE(report.fold_p50_ns(), report.fold_p99_ns());
+  EXPECT_LE(report.trigger_p50_ns(), report.trigger_p99_ns());
+  EXPECT_GT(report.fold_p99_ns(), 0.0);
+  // Empty reports degrade to 0 rather than throwing.
+  EXPECT_DOUBLE_EQ(StreamingReport{}.fold_p50_ns(), 0.0);
+}
+
+TEST(ShardedIngest, ConfigValidation) {
+  CanonicalTree topo(tiny_tree_config());
+  StreamingConfig cfg = small_streaming_config();
+  cfg.partial_reopt = true;  // without ingest_shards > 1
+  EXPECT_THROW(StreamingEngine(topo, cfg), std::invalid_argument);
+  cfg.ingest_shards = 4;
+  cfg.mode = "distributed";  // partial restriction is centralized-only
+  EXPECT_THROW(StreamingEngine(topo, cfg), std::invalid_argument);
+  cfg.mode = "centralized";
+  EXPECT_NO_THROW(StreamingEngine(topo, cfg));
 }
 
 }  // namespace

@@ -31,7 +31,11 @@ Two modes:
         * ns_per_migration (the huge-scale end-to-end migration latency)
           grew by more than --migration-tolerance fractional (default 0.5,
           i.e. +50%; one-sided — wall-clock timing is noisier across hosts
-          than the memory footprint, hence the wider band).
+          than the memory footprint, hence the wider band),
+        * fold_p99_ns (the streaming-ingest per-batch fold tail latency)
+          grew by more than --fold-tolerance fractional (default 1.0, i.e.
+          +100%; one-sided — a p99 over a handful of batches is the
+          noisiest gated metric, so only a clear tail blow-up fails).
 
       Scenarios present only in the baseline (e.g. the paper-scale suite
       when CI runs --scale default) are reported as skipped, not failed.
@@ -183,7 +187,8 @@ def compare(baseline: dict, candidate: dict, args: argparse.Namespace) -> int:
         # One-sided growth gates (huge-scale suite): memory footprint and
         # end-to-end migration latency only fail upward — improvements pass.
         for field, tolerance in (("bytes_per_vm", args.bytes_tolerance),
-                                 ("ns_per_migration", args.migration_tolerance)):
+                                 ("ns_per_migration", args.migration_tolerance),
+                                 ("fold_p99_ns", args.fold_tolerance)):
             if field in b and field in c and b[field] > 0:
                 ratio = c[field] / b[field]
                 if ratio > 1.0 + tolerance:
@@ -235,6 +240,9 @@ def main() -> int:
     parser.add_argument("--migration-tolerance", type=float, default=0.5,
                         help="allowed fractional ns_per_migration growth (default "
                              "0.5 = +50%%; decreases never fail)")
+    parser.add_argument("--fold-tolerance", type=float, default=1.0,
+                        help="allowed fractional fold_p99_ns growth (default "
+                             "1.0 = +100%%; decreases never fail)")
     parser.add_argument("--fail-on-new", dest="fail_on_new", action="store_true",
                         default=True,
                         help="fail when the candidate has scenarios absent from the "

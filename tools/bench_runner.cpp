@@ -73,6 +73,7 @@
 #include "hypervisor/distributed_runtime.hpp"
 #include "traffic/ingest.hpp"
 #include "util/exec_policy.hpp"
+#include "util/stats.hpp"
 
 namespace {
 
@@ -786,8 +787,14 @@ bool run_streaming_ingest(bench::JsonReport& report) {
 
     const std::uint64_t rebuilds_before = model.rebuilds();
     const std::uint64_t folded_before = model.deltas_folded();
+    std::vector<double> batch_ns;
+    batch_ns.reserve(batches.size());
     bench::Stopwatch sw;
-    for (const traffic::FlowDeltaBatch& batch : batches) tm.apply(batch);
+    for (const traffic::FlowDeltaBatch& batch : batches) {
+      bench::Stopwatch batch_sw;
+      tm.apply(batch);
+      batch_ns.push_back(batch_sw.elapsed_s() * 1e9);
+    }
     const double folded_total = model.total_cost(fleet.alloc, tm);
     const double elapsed = sw.elapsed_s();
 
@@ -830,6 +837,9 @@ bool run_streaming_ingest(bench::JsonReport& report) {
     rec.metric("deltas_folded", static_cast<double>(folded));
     rec.metric("extra_rebuilds", static_cast<double>(extra_rebuilds));
     rec.metric("fold_vs_brute_rel", rel);
+    // Per-batch apply latency: the tail is what bounds staleness under load.
+    rec.metric("fold_p50_ns", util::percentile(batch_ns, 50.0));
+    rec.metric("fold_p99_ns", util::percentile(batch_ns, 99.0));
     // Rep-dependent: only comparable at equal `calls` (the gate skips it
     // otherwise, e.g. --quick vs full).
     rec.metric("calls", static_cast<double>(updates));
@@ -936,12 +946,135 @@ bool run_streaming_ingest(bench::JsonReport& report) {
     rec.metric("final_cost", res.final_cost);
     rec.metric("final_fresh_cost", res.final_fresh_cost);
     rec.metric("max_cost_ratio_vs_fresh", res.max_cost_ratio());
+    rec.metric("fold_p50_ns", res.fold_p50_ns());
+    rec.metric("fold_p99_ns", res.fold_p99_ns());
+    rec.metric("trigger_p50_ns", res.trigger_p50_ns());
+    rec.metric("trigger_p99_ns", res.trigger_p99_ns());
     report.add(rec);
     std::cerr << "[streaming-ingest] " << rec.scenario << ": "
               << res.reopts.size() << " re-opts over " << res.deltas_applied
               << " deltas (" << res.deltas_per_reopt()
               << " per re-opt), max ratio vs fresh " << res.max_cost_ratio()
               << " in " << wall << "s wall\n";
+  }
+
+  // ---- sharded ingest + partial re-optimisation -----------------------------
+  // Same scenarios with drift attribution split across 4 VM shards and each
+  // triggered re-opt confined to the drifted shards' token ranges. Hard
+  // gates: the <= 1.05 band vs fresh still holds under partial re-opts, both
+  // queue families respect their bounds, and a seq re-run of the identical
+  // config lands on bit-identical results (the fold is single-owner; shard
+  // workers only write disjoint accumulators).
+  for (auto& spec : specs) {
+    const topo::Topology& topology = *spec.topology;
+    driver::StreamingConfig cfg;
+    cfg.server_capacity.vm_slots = 16;
+    cfg.server_capacity.ram_mb = 16 * 256.0;
+    cfg.server_capacity.cpu_cores = 16.0;
+    cfg.generator.num_vms =
+        topology.num_hosts() * cfg.server_capacity.vm_slots / 2;
+    cfg.generator.mean_service_size = 24;
+    cfg.generator.intra_service_degree = 4.0;
+    cfg.generator.cross_service_prob = 0.3;
+    cfg.generator.seed = 42;
+    cfg.placement_seed = 43;
+    cfg.events.events_per_tick = cfg.generator.num_vms / 2;
+    cfg.events.seed = 97;
+    cfg.ticks = g_quick ? 6 : 12;
+    cfg.queue_capacity = 4;
+    cfg.drift_threshold = 0.05;
+    cfg.tokens = 4;
+    cfg.iterations_per_reopt = 8;
+    cfg.fresh_reference = true;
+    cfg.reopt_iterations = 8;
+    cfg.ingest_shards = 4;
+    cfg.partial_reopt = true;
+    cfg.exec = util::ExecPolicy::par(2);
+
+    bench::Stopwatch sw;
+    driver::StreamingEngine engine(topology, cfg);
+    const driver::StreamingReport res = engine.run();
+    const double wall = sw.elapsed_s();
+
+    if (res.undefined_cost_ratios() > 0 ||
+        res.max_cost_ratio() - 1.0 > kDriftBand) {
+      std::cerr << "[streaming-ingest] BAND FAILURE: " << spec.name
+                << "/sharded max cost ratio " << res.max_cost_ratio()
+                << " (undefined " << res.undefined_cost_ratios()
+                << ") vs band " << 1.0 + kDriftBand << "\n";
+      ok = false;
+    }
+    if (res.max_queue_depth > cfg.queue_capacity ||
+        res.max_shard_queue_depth > cfg.queue_capacity) {
+      std::cerr << "[streaming-ingest] BACKPRESSURE FAILURE: " << spec.name
+                << "/sharded depths " << res.max_queue_depth << "/"
+                << res.max_shard_queue_depth << " > capacity "
+                << cfg.queue_capacity << "\n";
+      ok = false;
+    }
+    // Determinism cross-check: the parallel shard fold must be bit-identical
+    // to the sequential one (disjoint accumulators, fixed demux order).
+    {
+      driver::StreamingConfig seq_cfg = cfg;
+      seq_cfg.exec = util::ExecPolicy::seq();
+      const driver::StreamingReport seq_res =
+          driver::StreamingEngine(topology, seq_cfg).run();
+      if (seq_res.final_cost != res.final_cost ||
+          seq_res.reopts.size() != res.reopts.size() ||
+          seq_res.partial_reopts != res.partial_reopts) {
+        std::cerr << "[streaming-ingest] DETERMINISM FAILURE: " << spec.name
+                  << "/sharded seq vs par(2): final " << seq_res.final_cost
+                  << " vs " << res.final_cost << ", reopts "
+                  << seq_res.reopts.size() << " vs " << res.reopts.size()
+                  << ", partial " << seq_res.partial_reopts << " vs "
+                  << res.partial_reopts << "\n";
+        ok = false;
+      }
+    }
+
+    std::size_t migrations = 0;
+    for (const driver::ReoptEvent& ev : res.reopts) migrations += ev.migrations;
+
+    bench::BenchRecord rec;
+    rec.suite = "streaming-ingest";
+    rec.scenario = spec.name + "/sharded-ingest";
+    rec.wall_time_s = wall;
+    rec.cost_reduction_pct =
+        res.initial_cost > 0.0
+            ? 100.0 * (1.0 - res.final_cost / res.initial_cost)
+            : 0.0;
+    rec.migrations = migrations;
+    rec.metric("num_hosts", static_cast<double>(topology.num_hosts()));
+    rec.metric("num_vms", static_cast<double>(cfg.generator.num_vms));
+    rec.metric("ticks", static_cast<double>(res.ticks));
+    rec.metric("ingest_shards", static_cast<double>(res.ingest_shards));
+    rec.metric("deltas_applied", static_cast<double>(res.deltas_applied));
+    rec.metric("deltas_folded", static_cast<double>(res.deltas_folded));
+    rec.metric("cache_rebuilds", static_cast<double>(res.cache_rebuilds));
+    rec.metric("queue_capacity", static_cast<double>(cfg.queue_capacity));
+    rec.metric("max_queue_depth", static_cast<double>(res.max_queue_depth));
+    rec.metric("max_shard_queue_depth",
+               static_cast<double>(res.max_shard_queue_depth));
+    rec.metric("reopts", static_cast<double>(res.reopts.size()));
+    rec.metric("partial_reopts", static_cast<double>(res.partial_reopts));
+    rec.metric("deltas_per_reopt", res.deltas_per_reopt());
+    rec.metric("updates_per_sec",
+               wall > 0.0 ? static_cast<double>(res.deltas_applied) / wall : 0.0);
+    rec.metric("initial_cost", res.initial_cost);
+    rec.metric("final_cost", res.final_cost);
+    rec.metric("final_fresh_cost", res.final_fresh_cost);
+    rec.metric("max_cost_ratio_vs_fresh", res.max_cost_ratio());
+    rec.metric("fold_p50_ns", res.fold_p50_ns());
+    rec.metric("fold_p99_ns", res.fold_p99_ns());
+    rec.metric("trigger_p50_ns", res.trigger_p50_ns());
+    rec.metric("trigger_p99_ns", res.trigger_p99_ns());
+    report.add(rec);
+    std::cerr << "[streaming-ingest] " << rec.scenario << ": "
+              << res.reopts.size() << " re-opts (" << res.partial_reopts
+              << " partial) over " << res.deltas_applied
+              << " deltas, max ratio vs fresh " << res.max_cost_ratio()
+              << ", fold p99 " << res.fold_p99_ns() << " ns in " << wall
+              << "s wall\n";
   }
   return ok;
 }

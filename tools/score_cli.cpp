@@ -23,10 +23,13 @@
 //   score_cli --mode continuous --vms 256 --epochs 8 --arrival-prob 0.3
 //             --departure-prob 0.1 --save world.v2
 //   score_cli --mode streaming --vms 256 --ticks 128 --batch-size 2048
-//             --drift-threshold 0.08
+//             --drift-threshold 0.08 --ingest-shards 4 --partial-reopt
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <limits>
+#include <sstream>
 
 #include "baselines/ga_optimizer.hpp"
 #include "baselines/placement.hpp"
@@ -94,6 +97,8 @@ void validate_mode_combos(const util::Flags& flags) {
   require("ticks", strm, "--mode streaming");
   require("batch-size", strm, "--mode streaming");
   require("drift-threshold", strm, "--mode streaming");
+  require("ingest-shards", strm, "--mode streaming");
+  require("partial-reopt", strm, "--mode streaming");
 }
 
 // Continuous-operation mode: VM lifecycle churn over dynamic traffic epochs,
@@ -207,35 +212,66 @@ int run_streaming(const topo::Topology& topology, const util::Flags& flags) {
                          : util::ExecPolicy::seq();
   cfg.iterations_per_reopt = static_cast<std::size_t>(flags.get_int("iterations"));
   cfg.engine.migration_cost = flags.get_double("cm");
+  cfg.ingest_shards =
+      static_cast<std::size_t>(flags.get_int("ingest-shards"));
+  cfg.partial_reopt = flags.get_bool("partial-reopt");
 
   driver::StreamingEngine engine(topology, cfg);
   const driver::StreamingReport report = engine.run();
+
+  // A cost ratio can now legitimately be undefined (NaN: no fresh reference)
+  // or +inf (zero reference, nonzero cost). Print both honestly instead of
+  // the old silent 1.0.
+  const auto fmt_ratio = [](double r) -> std::string {
+    if (std::isnan(r)) return "n/a";
+    if (std::isinf(r)) return "inf";
+    std::ostringstream os;
+    os << std::setprecision(4) << r;
+    return os.str();
+  };
 
   std::cout << "streaming S-CORE, " << report.ticks << " ticks, "
             << report.deltas_applied << " flow deltas ("
             << report.deltas_folded << " folded O(1), "
             << report.cache_rebuilds << " cache rebuilds)\n";
+  if (report.ingest_shards > 1) {
+    std::cout << "sharded ingest: " << report.ingest_shards
+              << " shards, max shard-queue depth "
+              << report.max_shard_queue_depth << ", "
+              << report.partial_reopts << " partial re-opts\n";
+  }
   std::cout << "tick   drift    cost_before    cost_after     fresh_reopt    "
-               "ratio   migr  rounds\n";
+               "ratio   migr  rounds  scope\n";
   for (const driver::ReoptEvent& ev : report.reopts) {
     std::cout << std::setw(5) << ev.tick << "  " << std::setw(6)
               << std::setprecision(4) << ev.drift << std::setprecision(6)
               << "  " << std::setw(13) << ev.cost_before << "  "
               << std::setw(13) << ev.cost_after << "  " << std::setw(13)
               << ev.fresh_cost << "  " << std::setw(6)
-              << std::setprecision(4) << ev.cost_ratio()
-              << std::setprecision(6) << std::setw(7) << ev.migrations
-              << std::setw(7) << ev.rounds << "\n";
+              << fmt_ratio(ev.cost_ratio()) << std::setw(7) << ev.migrations
+              << std::setw(7) << ev.rounds << "  "
+              << (ev.partial ? "partial" : "full") << "\n";
   }
   std::cout << "drift trigger: " << report.reopts.size()
             << " re-optimisations, " << report.deltas_per_reopt()
             << " deltas/re-opt, final cost " << report.final_cost
-            << " (ratio vs fresh re-opt " << std::setprecision(4)
-            << (report.final_fresh_cost > 0.0
-                    ? report.final_cost / report.final_fresh_cost
-                    : 1.0)
-            << std::setprecision(6) << ", worst " << std::setprecision(4)
-            << report.max_cost_ratio() << std::setprecision(6) << ")\n";
+            << " (ratio vs fresh re-opt "
+            << fmt_ratio(report.final_fresh_computed &&
+                                 report.final_fresh_cost > 0.0
+                             ? report.final_cost / report.final_fresh_cost
+                             : report.final_fresh_computed &&
+                                       report.final_cost > 0.0
+                                 ? std::numeric_limits<double>::infinity()
+                                 : std::numeric_limits<double>::quiet_NaN())
+            << ", worst " << fmt_ratio(report.max_cost_ratio());
+  if (report.undefined_cost_ratios() > 0) {
+    std::cout << ", " << report.undefined_cost_ratios() << " undefined";
+  }
+  std::cout << ")\n";
+  std::cout << "ingest latency: fold p50 " << report.fold_p50_ns()
+            << " ns, p99 " << report.fold_p99_ns() << " ns; trigger p50 "
+            << report.trigger_p50_ns() << " ns, p99 "
+            << report.trigger_p99_ns() << " ns\n";
   return 0;
 }
 
@@ -267,6 +303,12 @@ int main(int argc, char** argv) {
   flags.add_double("drift-threshold", 0.05,
                    "streaming mode: relative cached-cost drift that launches "
                    "a re-optimisation");
+  flags.add_int("ingest-shards", 1,
+                "streaming mode: partition drift attribution across this many "
+                "VM shards (per-shard queues + triggers; 1 = global scalar)");
+  flags.add_bool("partial-reopt", false,
+                 "streaming mode: confine triggered re-optimisations to the "
+                 "drifted shards' token ranges (needs --ingest-shards > 1)");
   flags.add_bool("distributed", false,
                  "deprecated alias for --mode distributed");
   flags.add_bool("series", false, "print the cost-vs-time series as CSV");

@@ -41,7 +41,7 @@ def gate_args(**overrides):
     defaults = dict(ns_tolerance=0.25, ns_floor=100.0, checksum_rtol=1e-6,
                     reduction_atol=1.0, updates_tolerance=0.4,
                     bytes_tolerance=0.25, migration_tolerance=0.5,
-                    fail_on_new=True)
+                    fold_tolerance=1.0, fail_on_new=True)
     defaults.update(overrides)
     return argparse.Namespace(**defaults)
 
@@ -181,6 +181,36 @@ class CompareTests(unittest.TestCase):
         base = [make_record(ns_per_migration=10000.0)]
         cand = [make_record(ns_per_migration=2000.0)]  # 5x faster
         self.assertEqual(self.run_compare(base, cand), 0)
+
+    def test_fold_p99_growth_over_tolerance_trips_gate(self):
+        base = [make_record(fold_p99_ns=50000.0)]
+        cand = [make_record(fold_p99_ns=110000.0)]  # +120% > +100%
+        self.assertEqual(self.run_compare(base, cand), 1)
+
+    def test_fold_p99_growth_within_tolerance_passes(self):
+        base = [make_record(fold_p99_ns=50000.0)]
+        cand = [make_record(fold_p99_ns=90000.0)]  # +80%
+        self.assertEqual(self.run_compare(base, cand), 0)
+
+    def test_fold_p99_shrink_never_fails(self):
+        base = [make_record(fold_p99_ns=100000.0)]
+        cand = [make_record(fold_p99_ns=10000.0)]  # 10x faster tail
+        self.assertEqual(self.run_compare(base, cand), 0)
+
+    def test_fold_tolerance_is_adjustable(self):
+        base = [make_record(fold_p99_ns=50000.0)]
+        cand = [make_record(fold_p99_ns=60000.0)]  # +20%
+        self.assertEqual(self.run_compare(base, cand, fold_tolerance=0.1), 1)
+
+    def test_sharded_ingest_row_validates_and_compares(self):
+        row = make_record(suite="streaming-ingest",
+                          scenario="canonical-2560/sharded-ingest",
+                          ingest_shards=4.0, partial_reopts=3.0,
+                          max_shard_queue_depth=1.0, fold_p99_ns=80000.0,
+                          trigger_p99_ns=700.0, updates_per_sec=2e6,
+                          max_cost_ratio_vs_fresh=1.01)
+        self.assertEqual(bc.validate(make_doc([row]), "f"), [])
+        self.assertEqual(self.run_compare([row], [copy.deepcopy(row)]), 0)
 
     def test_huge_scale_accepted_by_validate(self):
         doc = make_doc([make_record()])
